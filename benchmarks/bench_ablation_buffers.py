@@ -1,0 +1,56 @@
+"""Ablation A1: buffer depth vs ordering discipline.
+
+The paper's position is that reordering makes memory-side buffers
+unnecessary: the Section 3.2 order needs only the module's request
+register (q=1), while ordered access of in-window families needs buffers
+to approach peak throughput (Harper's result, cited in the paper's
+introduction) and still cannot reach the minimum latency.
+
+This bench sweeps q in {1, 2, 4, 8} for a family-2 access on the matched
+design and regenerates that comparison.
+"""
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+from repro.report.tables import render_table
+
+VECTOR = VectorAccess(16, 12, 128)  # family 2, in-window
+MINIMUM = 8 + 128 + 1
+
+
+def sweep() -> list[list]:
+    rows = []
+    for q in (1, 2, 4, 8):
+        config = MemoryConfig.matched(t=3, s=4, input_capacity=q)
+        planner = AccessPlanner(config.mapping, 3)
+        system = MemorySystem(config)
+        row = [q]
+        for mode in ("ordered", "subsequence", "conflict_free"):
+            plan = planner.plan(VECTOR, mode=mode)
+            row.append(system.run_plan(plan).latency)
+        rows.append(row)
+    return rows
+
+
+def test_buffer_ablation(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    print()
+    print("== A1: buffer depth vs ordering (stride 12, L=128, min 137)")
+    print(
+        render_table(
+            ["q", "ordered", "subsequence", "conflict-free"], rows
+        )
+    )
+    by_q = {row[0]: row[1:] for row in rows}
+    # Conflict-free order needs no buffers: minimum latency at q=1.
+    for q, (_ordered, _subsequence, conflict_free) in by_q.items():
+        assert conflict_free == MINIMUM, q
+    # Ordered access never reaches the minimum, however deep the buffers.
+    assert all(ordered > MINIMUM for ordered, _, _ in by_q.values())
+    # Buffers monotonically help ordered access (Harper's effect).
+    ordered_latencies = [by_q[q][0] for q in (1, 2, 4, 8)]
+    assert ordered_latencies == sorted(ordered_latencies, reverse=True)
+    # Subsequence order with q=2 stays within the paper's 2T+L bound.
+    assert by_q[2][1] <= 2 * 8 + 128

@@ -1,0 +1,103 @@
+"""Design-space bench: how the window and efficiency scale with (lambda, t).
+
+Extends the paper's two design points into the surrounding space using
+the Section 5 closed forms, and spot-validates two off-paper points with
+the cycle-accurate simulator.
+"""
+
+from repro.analysis.sweeps import (
+    design_row,
+    efficiency_crossover_t,
+    sweep_lambda,
+    sweep_t,
+)
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.mappings.linear import MatchedXorMapping
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+from repro.report.tables import render_table
+
+
+def build_tables() -> tuple[list[list], list[list]]:
+    lambda_rows = [
+        [
+            row.lambda_exponent,
+            row.vector_length,
+            row.matched_window,
+            row.unmatched_window,
+            float(row.matched_efficiency),
+            float(row.unmatched_efficiency),
+            round(row.advantage, 2),
+        ]
+        for row in sweep_lambda(3, range(3, 11))
+    ]
+    t_rows = [
+        [
+            row.t,
+            1 << row.t,
+            row.matched_window,
+            float(row.matched_efficiency),
+            float(row.ordered_matched_efficiency),
+            round(row.advantage, 2),
+        ]
+        for row in sweep_t(7, range(0, 8))
+    ]
+    return lambda_rows, t_rows
+
+
+def test_design_space(benchmark):
+    lambda_rows, t_rows = benchmark.pedantic(
+        build_tables, rounds=3, iterations=1
+    )
+    print()
+    print("== D1: sweep register length (t=3, T=8)")
+    print(
+        render_table(
+            ["lambda", "L", "matched fams", "unmatched fams",
+             "eta matched", "eta unmatched", "vs ordered"],
+            lambda_rows,
+        )
+    )
+    print()
+    print("== D2: sweep memory ratio (lambda=7, L=128)")
+    print(
+        render_table(
+            ["t", "T", "matched fams", "eta matched", "eta ordered",
+             "advantage"],
+            t_rows,
+        )
+    )
+
+    # Longer registers monotonically widen the window and the efficiency.
+    etas = [row[4] for row in lambda_rows]
+    assert etas == sorted(etas)
+    # Slower memories (bigger t) hurt, and the advantage over ordered
+    # access is unimodal: it grows while conflicts get more expensive,
+    # peaks, then collapses as the shrinking window (lambda - t families)
+    # leaves nothing to reorder.  At the extremes (t=0 and t=lambda) both
+    # schemes coincide.
+    advantages = [row[5] for row in t_rows]
+    assert advantages[0] == 1.0 and advantages[-1] == 1.0
+    assert all(a >= 1.0 for a in advantages)
+    peak = advantages.index(max(advantages))
+    assert advantages[: peak + 1] == sorted(advantages[: peak + 1])
+    assert advantages[peak:] == sorted(advantages[peak:], reverse=True)
+    assert t_rows[peak][0] == 4
+    # The paper's design point appears in both sweeps consistently.
+    paper = design_row(7, 3)
+    assert round(float(paper.matched_efficiency), 3) == 0.914
+
+    # Spot-validate one off-paper point with the simulator: lambda=9,
+    # t=4 -> s=5, window 0..5, latency T+L+1 = 16+512+1.
+    config = MemoryConfig.matched(t=4, s=5)
+    planner = AccessPlanner(config.mapping, 4)
+    system = MemorySystem(config)
+    for family in range(6):
+        vector = VectorAccess(13, 3 * (1 << family), 512)
+        result = system.run_plan(planner.plan(vector))
+        assert result.conflict_free and result.latency == 16 + 512 + 1
+
+    crossover = efficiency_crossover_t(7)
+    print(f"\nmatched eta drops below 0.9 at t={crossover} for lambda=7")
+    assert crossover == 4

@@ -1,0 +1,14 @@
+"""Bench E02: Section 3 stride-12 worked example.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e02
+
+
+def test_e02(benchmark):
+    result = benchmark.pedantic(run_e02, rounds=3, iterations=1)
+    report_and_assert(result)

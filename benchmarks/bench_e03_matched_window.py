@@ -1,0 +1,14 @@
+"""Bench E03: Theorem 1 matched window sweep.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e03
+
+
+def test_e03(benchmark):
+    result = benchmark.pedantic(run_e03, rounds=3, iterations=1)
+    report_and_assert(result)

@@ -1,0 +1,14 @@
+"""Bench E04: Section 3.1 bounded-latency sweep.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e04
+
+
+def test_e04(benchmark):
+    result = benchmark.pedantic(run_e04, rounds=3, iterations=1)
+    report_and_assert(result)

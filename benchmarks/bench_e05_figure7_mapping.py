@@ -1,0 +1,14 @@
+"""Bench E05: Figure 7 layout + Section 4.1 examples.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e05
+
+
+def test_e05(benchmark):
+    result = benchmark.pedantic(run_e05, rounds=3, iterations=1)
+    report_and_assert(result)

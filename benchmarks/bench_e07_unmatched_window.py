@@ -1,0 +1,14 @@
+"""Bench E07: Theorem 3 unmatched window sweep.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e07
+
+
+def test_e07(benchmark):
+    result = benchmark.pedantic(run_e07, rounds=3, iterations=1)
+    report_and_assert(result)

@@ -1,0 +1,14 @@
+"""Bench E08: Section 5-A conflict-free stride fractions.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e08
+
+
+def test_e08(benchmark):
+    result = benchmark.pedantic(run_e08, rounds=3, iterations=1)
+    report_and_assert(result)

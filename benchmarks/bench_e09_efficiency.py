@@ -1,0 +1,20 @@
+"""Bench E09 + E16: Section 5-B efficiency, model vs simulation.
+
+E09 reproduces the four headline efficiencies (0.914 / 0.997 / 0.4 /
+0.84); E16 validates the per-family steady-state cost ``2**min(i, t)``
+against the cycle-accurate simulator.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e09, run_e16
+
+
+def test_e09(benchmark):
+    result = benchmark.pedantic(run_e09, rounds=3, iterations=1)
+    report_and_assert(result)
+
+
+def test_e16(benchmark):
+    result = benchmark.pedantic(run_e16, rounds=3, iterations=1)
+    report_and_assert(result)

@@ -1,0 +1,14 @@
+"""Bench E10: Section 5-C short-vector composite access.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e10
+
+
+def test_e10(benchmark):
+    result = benchmark.pedantic(run_e10, rounds=3, iterations=1)
+    report_and_assert(result)

@@ -1,0 +1,14 @@
+"""Bench E11: Section 5-H families vs vector length.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e11
+
+
+def test_e11(benchmark):
+    result = benchmark.pedantic(run_e11, rounds=3, iterations=1)
+    report_and_assert(result)

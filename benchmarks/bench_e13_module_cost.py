@@ -1,0 +1,14 @@
+"""Bench E13: Section 5-E module-cost trade-off.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e13
+
+
+def test_e13(benchmark):
+    result = benchmark.pedantic(run_e13, rounds=3, iterations=1)
+    report_and_assert(result)

@@ -1,0 +1,14 @@
+"""Bench E14: Section 5-F chaining comparison.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e14
+
+
+def test_e14(benchmark):
+    result = benchmark.pedantic(run_e14, rounds=3, iterations=1)
+    report_and_assert(result)

@@ -1,0 +1,14 @@
+"""Bench E15: Figures 4-6 hardware equivalence.
+
+Regenerates the paper artifact via the shared experiment runner, prints
+the table (run with -s to see it) and measures the regeneration cost.
+"""
+
+from conftest import report_and_assert
+
+from repro.report.experiments import run_e15
+
+
+def test_e15(benchmark):
+    result = benchmark.pedantic(run_e15, rounds=3, iterations=1)
+    report_and_assert(result)

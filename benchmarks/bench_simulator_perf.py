@@ -1,0 +1,58 @@
+"""Performance benchmarks of the library's own machinery.
+
+Not a paper artifact — these measure the simulator, planner and hardware
+engine throughput so performance regressions in the substrate are caught
+by ``pytest benchmarks/ --benchmark-only`` alongside the reproduction
+benches.
+"""
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.hardware.oos_engine import Figure6Engine
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+from repro.processor.decoupled import DecoupledVectorMachine
+from repro.processor.stripmine import daxpy_program
+
+CONFIG = MemoryConfig.matched(t=3, s=4)
+PLANNER = AccessPlanner(CONFIG.mapping, 3)
+SYSTEM = MemorySystem(CONFIG)
+VECTOR = VectorAccess(16, 12, 128)
+
+
+def test_plan_conflict_free(benchmark):
+    plan = benchmark(PLANNER.plan, VECTOR, "conflict_free")
+    assert plan.conflict_free
+
+
+def test_simulate_conflict_free_access(benchmark):
+    plan = PLANNER.plan(VECTOR, mode="conflict_free")
+    result = benchmark(SYSTEM.run_plan, plan)
+    assert result.latency == 137
+
+
+def test_simulate_conflicting_access(benchmark):
+    plan = PLANNER.plan(VectorAccess(0, 1 << 6, 128), mode="ordered")
+    result = benchmark(SYSTEM.run_plan, plan)
+    assert not result.conflict_free
+
+
+def test_figure6_engine(benchmark):
+    def build_and_run():
+        return Figure6Engine(PLANNER, VECTOR).run()
+
+    stream = benchmark(build_and_run)
+    assert len(stream) == 128
+
+
+def test_full_machine_daxpy(benchmark):
+    program = daxpy_program(256, 128, 2.0, 0, 3, 10**6, 1)
+
+    def run_machine():
+        machine = DecoupledVectorMachine(CONFIG, register_length=128)
+        machine.store.write_vector(0, 3, [1.0] * 256)
+        machine.store.write_vector(10**6, 1, [2.0] * 256)
+        return machine.run(program)
+
+    result = benchmark(run_machine)
+    assert result.total_cycles > 0

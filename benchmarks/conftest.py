@@ -1,0 +1,26 @@
+"""Shared helper for the experiment benches.
+
+Every bench calls its experiment runner through pytest-benchmark (so the
+suite doubles as a performance regression harness), prints the regenerated
+table and asserts all paper-vs-measured checks.
+"""
+
+from __future__ import annotations
+
+from repro.report.experiments import ExperimentResult
+from repro.report.tables import render_table
+
+
+def report_and_assert(result: ExperimentResult) -> None:
+    """Print the regenerated table and fail on any unmet paper claim."""
+    print()
+    print(f"== {result.experiment_id}: {result.title}")
+    print(render_table(result.headers, result.rows))
+    for note in result.notes:
+        print(f"note: {note}")
+    failures = [check for check in result.checks if not check.passed]
+    for check in result.checks:
+        status = "ok " if check.passed else "FAIL"
+        print(f"[{status}] {check.claim}: expected {check.expected}, "
+              f"measured {check.measured}")
+    assert not failures, f"{len(failures)} paper claims not reproduced"

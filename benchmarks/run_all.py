@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from every experiment runner.
+
+Usage::
+
+    python benchmarks/run_all.py [output-path]
+
+Runs all experiments (E01..E16), prints progress, and writes a Markdown
+report with every regenerated table and its paper-vs-measured checks.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.report.experiments import ALL_EXPERIMENTS
+from repro.report.tables import render_markdown
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction of every numeric/tabular artifact of Valero et al.,
+"Increasing the Number of Strides for Conflict-Free Vector Access"
+(ISCA 1992).  Regenerate this file with `python benchmarks/run_all.py`;
+each section below is produced by the matching `repro.report.experiments`
+runner and the matching `benchmarks/bench_*` target.
+
+Absolute cycle counts come from this repository's cycle-accurate
+simulator (timing contract: 1-cycle buses, T-cycle modules — the same
+model the paper's latency formulas assume), so the paper's *exact*
+latency and efficiency numbers are expected to match, not just the
+shape.
+
+"""
+
+
+def main(output: str) -> int:
+    sections: list[str] = [HEADER]
+    all_ok = True
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        runner = ALL_EXPERIMENTS[experiment_id]
+        started = time.time()
+        result = runner()
+        elapsed = time.time() - started
+        status = "PASS" if result.all_passed else "FAIL"
+        all_ok = all_ok and result.all_passed
+        print(f"{experiment_id}: {status} ({elapsed:.1f}s) {result.title}")
+
+        sections.append(f"## {experiment_id} — {result.title}\n")
+        sections.append(render_markdown(result.headers, result.rows))
+        sections.append("")
+        if result.notes:
+            for note in result.notes:
+                sections.append(f"*Note: {note}*")
+            sections.append("")
+        sections.append("| check | paper / expected | measured | status |")
+        sections.append("|---|---|---|---|")
+        for check in result.checks:
+            mark = "pass" if check.passed else "**FAIL**"
+            sections.append(
+                f"| {check.claim} | {check.expected} | {check.measured} "
+                f"| {mark} |"
+            )
+        sections.append("")
+
+    Path(output).write_text("\n".join(sections))
+    print(f"wrote {output}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    raise SystemExit(main(target))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Strided DAXPY on the full decoupled vector machine (Figure 1).
+
+Computes ``y = alpha * x + y`` over 1000 elements where ``x`` is a
+stride-12 vector (family 2 — conflicting under ordered access) and ``y``
+is contiguous.  The compiler strip-mines into 128-element register
+strips (Section 1); the machine is run three ways:
+
+* ordered access (baseline memory unit),
+* out-of-order conflict-free access (the paper's scheme),
+* out-of-order access plus LOAD->EXECUTE chaining (Section 5-F).
+
+Numerical results are identical; the cycle counts show where the memory
+system's behaviour goes.
+
+Run:  python examples/daxpy_machine.py
+"""
+
+from repro.memory import MemoryConfig
+from repro.processor import DecoupledVectorMachine, daxpy_program
+
+N = 1000
+ALPHA = 2.5
+X_BASE, X_STRIDE = 0, 12
+Y_BASE, Y_STRIDE = 1 << 20, 1
+REGISTER_LENGTH = 128
+
+
+def run_variant(name: str, plan_mode: str, chaining: bool) -> None:
+    machine = DecoupledVectorMachine(
+        MemoryConfig.matched(t=3, s=4, input_capacity=2),
+        register_length=REGISTER_LENGTH,
+        chaining=chaining,
+        plan_mode=plan_mode,
+    )
+    xs = [0.25 * i for i in range(N)]
+    ys = [100.0 - 0.5 * i for i in range(N)]
+    machine.store.write_vector(X_BASE, X_STRIDE, xs)
+    machine.store.write_vector(Y_BASE, Y_STRIDE, ys)
+
+    program = daxpy_program(
+        N, REGISTER_LENGTH, ALPHA, X_BASE, X_STRIDE, Y_BASE, Y_STRIDE
+    )
+    result = machine.run(program)
+
+    out = machine.store.read_vector(Y_BASE, Y_STRIDE, N)
+    expected = [ALPHA * x + y for x, y in zip(xs, ys)]
+    correct = all(abs(a - b) < 1e-9 for a, b in zip(out, expected))
+
+    loads = [t for t in result.timings if t.mnemonic == "LOAD"]
+    conflict_free = sum(1 for t in loads if t.conflict_free)
+    print(
+        f"{name:28s} {result.total_cycles:6d} cycles   "
+        f"loads CF {conflict_free}/{len(loads)}   "
+        f"chained ops {result.chained_count()}   "
+        f"values {'OK' if correct else 'WRONG'}"
+    )
+
+
+def main() -> None:
+    print(f"DAXPY: y = {ALPHA} * x + y, n = {N}, "
+          f"x stride {X_STRIDE} (family 2), strip length {REGISTER_LENGTH}\n")
+    run_variant("ordered access", "ordered", chaining=False)
+    run_variant("out-of-order (paper)", "auto", chaining=False)
+    run_variant("out-of-order + chaining", "auto", chaining=True)
+    print(
+        "\nThe out-of-order scheme removes the per-period conflict stalls "
+        "of ordered\naccess; chaining then overlaps each arithmetic "
+        "instruction with the load\nfeeding it (possible only because the "
+        "conflict-free order is deterministic)."
+    )
+
+
+if __name__ == "__main__":
+    main()

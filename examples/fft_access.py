@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""FFT butterfly access patterns: the power-of-two stride stress test.
+
+Every radix-2 FFT stage reads vectors whose stride is a power of two —
+the exact family structure the paper's window is built for.  This
+example sweeps all stages of a 1024-point FFT on the matched (M = 8) and
+unmatched (M = 64) designs and shows:
+
+* early stages (long vectors, small stride families) run conflict-free
+  on both designs;
+* middle stages need the unmatched design's wider window;
+* late stages have vectors shorter than a reorder chunk and fall back to
+  ordered access — the fixed-length trade-off of Section 5-H.
+
+Run:  python examples/fft_access.py
+"""
+
+from repro import AccessPlanner
+from repro.memory import MemoryConfig, MemorySystem
+from repro.report import render_table
+from repro.workloads import fft_butterfly_accesses
+
+N = 1 << 10
+
+
+def main() -> None:
+    matched_config = MemoryConfig.matched(t=3, s=4, input_capacity=2)
+    unmatched_config = MemoryConfig.unmatched(t=3, s=4, y=9, input_capacity=2)
+    designs = [
+        ("matched M=8", AccessPlanner(matched_config.mapping, 3),
+         MemorySystem(matched_config)),
+        ("unmatched M=64", AccessPlanner(unmatched_config.mapping, 3),
+         MemorySystem(unmatched_config)),
+    ]
+
+    print(f"{N}-point radix-2 FFT, one representative access per stage\n")
+    rows = []
+    for stage in range(N.bit_length() - 1):
+        access = fft_butterfly_accesses(N, stage)[0]
+        minimum = 8 + access.length + 1
+        row = [stage, access.stride, access.family, access.length, minimum]
+        for _name, planner, system in designs:
+            plan = planner.plan(access, mode="auto")
+            run = system.run_plan(plan)
+            marker = "" if run.conflict_free else " *"
+            row.append(f"{run.latency}{marker}")
+        rows.append(row)
+
+    headers = ["stage", "stride", "family", "length", "min"] + [
+        name for name, *_ in designs
+    ]
+    print(render_table(headers, rows))
+    print(
+        "\n* = not conflict-free.  The matched window covers families "
+        "0..4; the\nunmatched window covers 0..9 — but stages whose "
+        "vectors are shorter than one\nreorder chunk (length < "
+        "2**(w+t-x)) fall back to ordered access, matching\nthe paper's "
+        "observation that the scheme targets register-length vectors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Matrix access patterns: rows, columns, diagonals and blocked transpose.
+
+The introduction's motivating workloads.  For a row-major 128x64 matrix
+(leading dimension 64 — a power of two, the worst case for conventional
+interleaving) this example compares access latencies on:
+
+* conventional interleaving with ordered access, and
+* the paper's unmatched design with out-of-order access,
+
+then runs a real element-wise column scaling on the decoupled machine to
+show data correctness rides along with the latency win.
+
+Run:  python examples/matrix_kernels.py
+"""
+
+from repro import AccessPlanner
+from repro.mappings import LowOrderInterleaved
+from repro.memory import MemoryConfig, MemorySystem
+from repro.processor import DecoupledVectorMachine, elementwise_product_program
+from repro.report import render_table
+from repro.workloads import (
+    matrix_antidiagonal_access,
+    matrix_column_accesses,
+    matrix_diagonal_access,
+    matrix_row_accesses,
+    transpose_block_accesses,
+)
+
+ROWS, COLS = 128, 64
+
+
+def pattern_table() -> None:
+    conventional = MemoryConfig(LowOrderInterleaved(3), 3, input_capacity=4)
+    proposed = MemoryConfig.unmatched(t=3, s=4, y=9)
+    designs = [
+        ("interleaved+ordered", AccessPlanner(conventional.mapping, 3),
+         MemorySystem(conventional), "ordered"),
+        ("unmatched+OOO (paper)", AccessPlanner(proposed.mapping, 3),
+         MemorySystem(proposed), "auto"),
+    ]
+
+    patterns = [
+        ("row", matrix_row_accesses(ROWS, COLS)[0]),
+        ("column", matrix_column_accesses(ROWS, COLS)[0]),
+        ("diagonal", matrix_diagonal_access(min(ROWS, COLS))),
+        ("anti-diagonal", matrix_antidiagonal_access(min(ROWS, COLS))),
+        ("transpose tile col", transpose_block_accesses(ROWS, COLS, 32)[0]),
+    ]
+
+    print(f"row-major {ROWS}x{COLS} matrix (leading dimension {COLS} = 2**6)\n")
+    rows = []
+    for name, access in patterns:
+        minimum = 8 + access.length + 1
+        row = [name, access.stride, access.family, access.length, minimum]
+        for _dname, planner, system, mode in designs:
+            run = system.run_plan(planner.plan(access, mode=mode))
+            row.append(run.latency)
+        rows.append(row)
+    headers = ["pattern", "stride", "family", "length", "min"] + [
+        dname for dname, *_ in designs
+    ]
+    print(render_table(headers, rows))
+
+
+def column_scaling_end_to_end() -> None:
+    """Scale column 0 of the matrix by its diagonal neighbour, for real."""
+    machine = DecoupledVectorMachine(
+        MemoryConfig.unmatched(t=3, s=4, y=9), register_length=128
+    )
+    matrix = [[float(r * COLS + c) for c in range(COLS)] for r in range(ROWS)]
+    flat = [value for row in matrix for value in row]
+    machine.store.write_vector(0, 1, flat)
+
+    # out[r] = A[r][0] * A[r][1]: two stride-64 column reads.
+    program = elementwise_product_program(
+        ROWS, 128, 0, COLS, 1, COLS, 1 << 20, 1
+    )
+    result = machine.run(program)
+    out = machine.store.read_vector(1 << 20, 1, ROWS)
+    expected = [matrix[r][0] * matrix[r][1] for r in range(ROWS)]
+    assert out == expected, "column product mismatch"
+
+    loads = [t for t in result.timings if t.mnemonic == "LOAD"]
+    print(
+        f"\ncolumn product (two stride-{COLS} loads per strip): "
+        f"{result.total_cycles} cycles, "
+        f"{sum(1 for t in loads if t.conflict_free)}/{len(loads)} loads "
+        "conflict-free, values verified"
+    )
+
+
+def main() -> None:
+    pattern_table()
+    column_scaling_end_to_end()
+
+
+if __name__ == "__main__":
+    main()

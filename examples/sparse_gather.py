@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Sparse gather: scheduling "unstructured patterns" out of order.
+
+The paper's introduction notes that conventional interleaving only helps
+structured patterns; a sparse kernel's gather (``y[i] = table[idx[i]]``)
+has no stride to exploit.  But the out-of-order machinery the paper
+builds — element indices travelling with requests, a random-access
+vector register — is exactly what an indexed access needs to be
+*scheduled*: the memory unit can issue the gather's requests in any
+order that keeps same-module requests T slots apart.
+
+This example runs a sparse histogram-style kernel on the decoupled
+machine under both gather modes and three index distributions.
+
+Run:  python examples/sparse_gather.py
+"""
+
+import random
+
+from repro.memory import MemoryConfig
+from repro.processor import DecoupledVectorMachine, Program, VGather, VLoad, VStore, VSum
+
+LENGTH = 128
+TABLE_SIZE = 4096
+
+
+def index_populations() -> dict[str, list[int]]:
+    rng = random.Random(1992)
+    permutation = list(range(LENGTH))
+    rng.shuffle(permutation)
+    return {
+        "dense permutation": permutation,
+        "uniform random": [rng.randrange(TABLE_SIZE) for _ in range(LENGTH)],
+        "hot-row clustered": [128 * (i % 4) for i in range(LENGTH)],
+    }
+
+
+def run(name: str, indices: list[int], gather_mode: str) -> None:
+    machine = DecoupledVectorMachine(
+        MemoryConfig.matched(t=3, s=4, input_capacity=2),
+        register_length=LENGTH,
+        gather_mode=gather_mode,
+    )
+    table = [float(i % 97) for i in range(TABLE_SIZE)]
+    machine.store.write_vector(0, 1, table)
+    machine.store.write_vector(100000, 1, [float(i) for i in indices])
+
+    program = Program(
+        [
+            VLoad(1, 100000, 1),  # index vector
+            VGather(2, 0, 1),  # the sparse read
+            VSum(3, 2),  # reduce
+            VStore(3, 200000, 1, 1),  # store the scalar result
+        ]
+    )
+    result = machine.run(program)
+    expected = float(sum(table[i] for i in indices))
+    measured = machine.store.read(200000)
+    assert measured == expected, (measured, expected)
+
+    gather = result.timings[1]
+    print(
+        f"  {name:20s} {gather_mode:9s}: gather {gather.duration:4d} cycles "
+        f"({gather.mode}, {'conflict-free' if gather.conflict_free else 'conflicts'}), "
+        f"total {result.total_cycles}, checksum OK"
+    )
+
+
+def main() -> None:
+    print(f"sparse gather of {LENGTH} elements from a {TABLE_SIZE}-word table\n")
+    for name, indices in index_populations().items():
+        for mode in ("ordered", "scheduled"):
+            run(name, indices, mode)
+        print()
+    print(
+        "Scheduling recovers the one-element-per-cycle rate whenever the\n"
+        "index multiset is T-matched; the hot-row population is not, and\n"
+        "no issue order can fix it (Section 2: T-matched is necessary)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets ``pip install -e .`` work on machines without the
+``wheel`` package (offline environments) via ``setup.py develop``."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of Valero et al., "Increasing the Number of
+Strides for Conflict-Free Vector Access" (ISCA 1992).
+
+The library implements the paper's out-of-order conflict-free vector
+access scheme end to end: XOR/skewing/interleaved address mappings, the
+Lemma-2/4 subsequence reorderings, Theorem-1/3 conflict-free windows, a
+cycle-accurate multi-module memory simulator, register-level models of
+the paper's address-generation hardware (Figures 4-6), a decoupled
+access/execute vector machine with LOAD->EXECUTE chaining, and the
+Section-5 analytic models.
+
+Quickstart::
+
+    from repro import MatchedDesign, VectorAccess, AccessPlanner
+    from repro.memory import MemoryConfig, MemorySystem
+
+    design = MatchedDesign.recommended(lambda_exponent=7, t=3)
+    planner = AccessPlanner(design.mapping(), design.t)
+    plan = planner.plan(VectorAccess(base=16, stride=12, length=128))
+    result = MemorySystem(MemoryConfig.matched(3, design.s)).run_plan(plan)
+    assert result.conflict_free and result.latency == 8 + 128 + 1
+"""
+
+from repro.core import (
+    AccessPlan,
+    AccessPlanner,
+    CompositePlan,
+    MatchedDesign,
+    RequestOrder,
+    StrideFamily,
+    SubsequencePlan,
+    UnmatchedDesign,
+    VectorAccess,
+    Window,
+    build_subsequences,
+    decompose_stride,
+    family_of,
+    is_conflict_free,
+    matched_window,
+    plan_short_vector,
+    recommended_s,
+    recommended_y,
+    unmatched_windows,
+)
+from repro.errors import (
+    ConfigurationError,
+    HardwareModelError,
+    OrderingError,
+    ProgramError,
+    RegisterFileError,
+    ReproError,
+    SimulationError,
+    VectorSpecError,
+)
+from repro.mappings import (
+    AddressMapping,
+    FieldInterleaved,
+    LowOrderInterleaved,
+    MatchedXorMapping,
+    PseudoRandomMapping,
+    SectionXorMapping,
+    SkewedMapping,
+    XorMatrixMapping,
+)
+from repro.memory import AccessResult, MemoryConfig, MemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPlan",
+    "AccessPlanner",
+    "AccessResult",
+    "AddressMapping",
+    "CompositePlan",
+    "ConfigurationError",
+    "FieldInterleaved",
+    "HardwareModelError",
+    "LowOrderInterleaved",
+    "MatchedDesign",
+    "MatchedXorMapping",
+    "MemoryConfig",
+    "MemorySystem",
+    "OrderingError",
+    "ProgramError",
+    "PseudoRandomMapping",
+    "RegisterFileError",
+    "ReproError",
+    "RequestOrder",
+    "SectionXorMapping",
+    "SimulationError",
+    "SkewedMapping",
+    "StrideFamily",
+    "SubsequencePlan",
+    "UnmatchedDesign",
+    "VectorAccess",
+    "VectorSpecError",
+    "Window",
+    "XorMatrixMapping",
+    "build_subsequences",
+    "decompose_stride",
+    "family_of",
+    "is_conflict_free",
+    "matched_window",
+    "plan_short_vector",
+    "recommended_s",
+    "recommended_y",
+    "unmatched_windows",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Closed-form models and validation for the paper's evaluation section."""
+
+from repro.analysis.efficiency import (
+    average_cycles_per_element,
+    average_cycles_truncated,
+    efficiency,
+    family_cycles_per_element,
+    matched_ordered_efficiency,
+    matched_proposed_efficiency,
+    unmatched_ordered_efficiency,
+    unmatched_proposed_efficiency,
+)
+from repro.analysis.fractions import (
+    conflict_free_fraction,
+    family_histogram,
+    matched_design_fraction,
+    monte_carlo_fraction,
+    unmatched_design_fraction,
+)
+from repro.analysis.sweeps import (
+    DesignRow,
+    design_row,
+    efficiency_crossover_t,
+    sweep_lambda,
+    sweep_t,
+)
+from repro.analysis.tradeoffs import (
+    DesignPoint,
+    LengthSensitivity,
+    families_vs_length,
+    matched_design_point,
+    maximum_extra_families,
+    ordered_design_point,
+    unmatched_design_point,
+    window_doubling_cost,
+)
+from repro.analysis.validation import (
+    FamilyValidation,
+    validate_families,
+    validate_family,
+    weighted_measured_efficiency,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignRow",
+    "FamilyValidation",
+    "LengthSensitivity",
+    "average_cycles_per_element",
+    "average_cycles_truncated",
+    "conflict_free_fraction",
+    "design_row",
+    "efficiency_crossover_t",
+    "efficiency",
+    "families_vs_length",
+    "family_cycles_per_element",
+    "family_histogram",
+    "matched_design_fraction",
+    "matched_design_point",
+    "matched_ordered_efficiency",
+    "matched_proposed_efficiency",
+    "maximum_extra_families",
+    "monte_carlo_fraction",
+    "sweep_lambda",
+    "sweep_t",
+    "ordered_design_point",
+    "unmatched_design_fraction",
+    "unmatched_design_point",
+    "unmatched_ordered_efficiency",
+    "unmatched_proposed_efficiency",
+    "validate_families",
+    "validate_family",
+    "weighted_measured_efficiency",
+    "window_doubling_cost",
+]

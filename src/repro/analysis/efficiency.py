@@ -1,0 +1,95 @@
+"""Memory efficiency under a uniform stride distribution — Section 5-B.
+
+Families inside the conflict-free window cost one cycle per element.  A
+family ``x = w + i`` beyond the window maps its elements into only
+``ceil(2**(t-i))`` modules, so an element is obtained every
+``2**t / ceil(2**(t-i)) = 2**min(i, t)`` cycles on average.  Weighting by
+the family fractions ``2**-(x+1)`` gives the paper's closed form
+
+    ``eta = 1 / (1 + t / 2**(w+1))``
+
+(the in-window families contribute ``1 - 2**-(w+1)`` cycles, the first
+``t`` out-of-window families contribute ``t / 2**(w+1)``, and the
+geometric tail beyond ``i = t`` contributes the missing ``2**-(w+1)``).
+
+Paper numbers reproduced by experiment E09:
+
+* proposed matched (``w=4, t=3``):    eta = 0.914
+* proposed unmatched (``w=9, t=3``):  eta = 0.997
+* ordered matched (``w=0``):          eta = 0.4
+* ordered unmatched (``w=m-t=3``):    eta = 0.84
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import VectorSpecError
+
+
+def family_cycles_per_element(family: int, window_high: int, t: int) -> int:
+    """Average cycles per element for one family.
+
+    1 inside the window; ``2**min(i, t)`` for the family ``w + i``.
+    """
+    if family < 0:
+        raise VectorSpecError(f"family must be >= 0, got {family}")
+    if family <= window_high:
+        return 1
+    excess = family - window_high
+    return 1 << min(excess, t)
+
+
+def average_cycles_per_element(window_high: int, t: int) -> Fraction:
+    """Exact closed form ``1 + t / 2**(w+1)``."""
+    if window_high < 0 or t < 0:
+        raise VectorSpecError("window and t must be >= 0")
+    return Fraction(1) + Fraction(t, 1 << (window_high + 1))
+
+
+def average_cycles_truncated(
+    window_high: int, t: int, max_family: int
+) -> Fraction:
+    """The same average computed term by term up to ``max_family``.
+
+    Used by the tests to confirm the closed form: the truncated sum plus
+    a bounded tail brackets :func:`average_cycles_per_element`.  The
+    residual weight beyond ``max_family`` is assigned cost ``2**t`` (its
+    exact asymptotic cost), making the sum converge to the closed form.
+    """
+    total = Fraction(0)
+    weight_used = Fraction(0)
+    for family in range(max_family + 1):
+        weight = Fraction(1, 1 << (family + 1))
+        total += weight * family_cycles_per_element(family, window_high, t)
+        weight_used += weight
+    tail_weight = Fraction(1) - weight_used
+    total += tail_weight * (1 << t)
+    return total
+
+
+def efficiency(window_high: int, t: int) -> Fraction:
+    """``eta = 1 / (1 + t / 2**(w+1))`` (Section 5-B)."""
+    return 1 / average_cycles_per_element(window_high, t)
+
+
+def matched_proposed_efficiency(lambda_exponent: int, t: int) -> Fraction:
+    """Proposed scheme, matched memory: ``w = lambda - t``."""
+    return efficiency(lambda_exponent - t, t)
+
+
+def unmatched_proposed_efficiency(lambda_exponent: int, t: int) -> Fraction:
+    """Proposed scheme, unmatched (``M = T**2``): ``w = 2(lambda-t)+1``."""
+    return efficiency(2 * (lambda_exponent - t) + 1, t)
+
+
+def matched_ordered_efficiency(t: int) -> Fraction:
+    """Ordered access, matched: best choice ``s = 0`` gives ``w = 0``."""
+    return efficiency(0, t)
+
+
+def unmatched_ordered_efficiency(m: int, t: int) -> Fraction:
+    """Ordered access, unmatched Eq. (1): ``s = 0`` gives ``w = m - t``."""
+    if m < t:
+        raise VectorSpecError(f"unmatched memory needs m >= t (m={m}, t={t})")
+    return efficiency(m - t, t)

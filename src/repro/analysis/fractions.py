@@ -1,0 +1,87 @@
+"""Fraction of conflict-free strides — Section 5-A.
+
+The fraction of strides in family ``x`` is ``2**-(x+1)``, so a window of
+families ``0..w`` covers ``f = 1 - 2**-(w+1)`` of all strides.  The
+paper's two design points:
+
+* matched, ``L=128, T=8`` (``w = lambda - t = 4``): ``f = 31/32``;
+* unmatched, ``M=64`` (``w = 2(lambda-t)+1 = 9``): ``f = 1023/1024``.
+
+Both closed forms and a seeded Monte-Carlo estimator (over uniformly
+drawn integer strides, checked against the planner's actual verdicts)
+are provided; experiment E08 prints both.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.families import family_of, window_fraction
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.errors import VectorSpecError
+
+
+def conflict_free_fraction(window_high: int) -> Fraction:
+    """``f = 1 - 2**-(w+1)`` for a window ``0..w`` (Section 5-A)."""
+    return window_fraction(window_high)
+
+
+def matched_design_fraction(lambda_exponent: int, t: int) -> Fraction:
+    """Fraction for the recommended matched design (``w = lambda - t``)."""
+    if lambda_exponent < t:
+        raise VectorSpecError(
+            f"lambda must be >= t (lambda={lambda_exponent}, t={t})"
+        )
+    return conflict_free_fraction(lambda_exponent - t)
+
+
+def unmatched_design_fraction(lambda_exponent: int, t: int) -> Fraction:
+    """Fraction for the recommended unmatched design
+    (``w = 2(lambda - t) + 1``)."""
+    if lambda_exponent < t:
+        raise VectorSpecError(
+            f"lambda must be >= t (lambda={lambda_exponent}, t={t})"
+        )
+    return conflict_free_fraction(2 * (lambda_exponent - t) + 1)
+
+
+def monte_carlo_fraction(
+    planner: AccessPlanner,
+    length: int,
+    samples: int = 2000,
+    max_stride_bits: int = 16,
+    seed: int = 0,
+) -> float:
+    """Empirical conflict-free fraction over uniform random strides.
+
+    Draws strides uniformly from ``[1, 2**max_stride_bits]`` (under which
+    family ``x`` naturally occurs with probability ``~2**-(x+1)``),
+    random bases, plans each access in ``auto`` mode and counts the
+    conflict-free outcomes.
+    """
+    rng = random.Random(seed)
+    hits = 0
+    space = planner.mapping.address_space
+    for _ in range(samples):
+        stride = rng.randrange(1, (1 << max_stride_bits) + 1)
+        base = rng.randrange(space)
+        plan = planner.plan(VectorAccess(base, stride, length), mode="auto")
+        if plan.conflict_free:
+            hits += 1
+    return hits / samples
+
+
+def family_histogram(
+    samples: int = 10000, max_stride_bits: int = 16, seed: int = 0
+) -> dict[int, float]:
+    """Observed family frequencies of uniform strides (sanity check that
+    the ``2**-(x+1)`` weighting matches uniform integer draws)."""
+    rng = random.Random(seed)
+    counts: dict[int, int] = {}
+    for _ in range(samples):
+        stride = rng.randrange(1, (1 << max_stride_bits) + 1)
+        family = family_of(stride)
+        counts[family] = counts.get(family, 0) + 1
+    return {family: count / samples for family, count in sorted(counts.items())}

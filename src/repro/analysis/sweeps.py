@@ -1,0 +1,90 @@
+"""Design-space sweeps: windows, fractions and efficiencies over (lambda, t).
+
+The paper evaluates two design points (L=128 with T=8, matched and
+unmatched).  These helpers sweep the surrounding space so the bench
+`bench_design_space.py` can show how the window, the covered stride
+fraction and the efficiency scale with register length and memory speed
+ratio — and where the proposed scheme's advantage over ordered access
+grows or shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.analysis.efficiency import efficiency
+from repro.core.families import window_fraction
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DesignRow:
+    """One (lambda, t) point of the design-space sweep."""
+
+    lambda_exponent: int
+    t: int
+    matched_window: int  # families, matched out-of-order
+    unmatched_window: int  # families, unmatched out-of-order
+    ordered_matched_window: int  # families, ordered s=0 matched
+    matched_fraction: Fraction
+    unmatched_fraction: Fraction
+    matched_efficiency: Fraction
+    unmatched_efficiency: Fraction
+    ordered_matched_efficiency: Fraction
+
+    @property
+    def vector_length(self) -> int:
+        return 1 << self.lambda_exponent
+
+    @property
+    def advantage(self) -> float:
+        """Proposed-matched over ordered-matched efficiency ratio."""
+        return float(self.matched_efficiency / self.ordered_matched_efficiency)
+
+
+def design_row(lambda_exponent: int, t: int) -> DesignRow:
+    """Closed-form design summary for one (lambda, t)."""
+    if t < 0 or lambda_exponent < t:
+        raise ConfigurationError(
+            f"need lambda >= t >= 0 (lambda={lambda_exponent}, t={t})"
+        )
+    w_matched = lambda_exponent - t
+    w_unmatched = 2 * (lambda_exponent - t) + 1
+    return DesignRow(
+        lambda_exponent=lambda_exponent,
+        t=t,
+        matched_window=w_matched + 1,
+        unmatched_window=w_unmatched + 1,
+        ordered_matched_window=1,
+        matched_fraction=window_fraction(w_matched),
+        unmatched_fraction=window_fraction(w_unmatched),
+        matched_efficiency=efficiency(w_matched, t),
+        unmatched_efficiency=efficiency(w_unmatched, t),
+        ordered_matched_efficiency=efficiency(0, t),
+    )
+
+
+def sweep_lambda(t: int, lambda_range: range) -> list[DesignRow]:
+    """Fix the memory speed ratio, sweep the register length."""
+    return [design_row(lam, t) for lam in lambda_range if lam >= t]
+
+
+def sweep_t(lambda_exponent: int, t_range: range) -> list[DesignRow]:
+    """Fix the register length, sweep the memory speed ratio."""
+    return [
+        design_row(lambda_exponent, t)
+        for t in t_range
+        if 0 <= t <= lambda_exponent
+    ]
+
+
+def efficiency_crossover_t(lambda_exponent: int) -> int | None:
+    """Smallest ``t`` at which the proposed matched scheme's efficiency
+    drops below 0.9 — i.e. where the register stops being long enough to
+    hide the memory's slowness.  None if it never drops within range."""
+    for t in range(0, lambda_exponent + 1):
+        row = design_row(lambda_exponent, t)
+        if float(row.matched_efficiency) < 0.9:
+            return t
+    return None

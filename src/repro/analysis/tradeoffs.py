@@ -1,0 +1,134 @@
+"""Design-space trade-offs — Sections 5-E, 5-G and 5-H.
+
+Three comparisons the paper draws:
+
+* **module cost of the window (5-E):** the matched scheme (``M = T``)
+  gives ``lambda - t + 1`` conflict-free families; doubling the window to
+  ``2(lambda - t) + 2`` requires *squaring* the module count
+  (``M = T**2``), and the added families carry exponentially fewer
+  strides.
+* **maximum families (5-G):** the unmatched scheme could reach ``t - 1``
+  more families with differently structured subsequences, at the price
+  of more complex address generation (reported, not implemented — the
+  paper itself leaves it out of its hardware design).
+* **families vs vector length (5-H):** ordered access on an unmatched
+  memory gives ``t + 1`` families for *any* vector length; the proposed
+  scheme gives only 2 families for arbitrary lengths but ``2(lambda-t+1)``
+  for the register length ``L = 2**lambda`` — the central bet of the
+  paper, quantified by experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.analysis.efficiency import efficiency
+from repro.core.families import window_fraction
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (module count, window) point of the Section 5-E trade-off."""
+
+    name: str
+    modules: int
+    window_families: int
+    stride_fraction: Fraction
+    efficiency: Fraction
+
+
+def matched_design_point(lambda_exponent: int, t: int) -> DesignPoint:
+    """``M = T``: window ``0..lambda-t`` via out-of-order access."""
+    _check(lambda_exponent, t)
+    w = lambda_exponent - t
+    return DesignPoint(
+        name="matched (M=T, out-of-order)",
+        modules=1 << t,
+        window_families=w + 1,
+        stride_fraction=window_fraction(w),
+        efficiency=efficiency(w, t),
+    )
+
+
+def unmatched_design_point(lambda_exponent: int, t: int) -> DesignPoint:
+    """``M = T**2``: window ``0..2(lambda-t)+1`` via out-of-order access."""
+    _check(lambda_exponent, t)
+    w = 2 * (lambda_exponent - t) + 1
+    return DesignPoint(
+        name="unmatched (M=T^2, out-of-order)",
+        modules=1 << (2 * t),
+        window_families=w + 1,
+        stride_fraction=window_fraction(w),
+        efficiency=efficiency(w, t),
+    )
+
+
+def ordered_design_point(m: int, t: int) -> DesignPoint:
+    """Ordered access on ``2**m`` modules: window ``0..m-t`` (s=0)."""
+    if m < t:
+        raise ConfigurationError(f"need m >= t (m={m}, t={t})")
+    w = m - t
+    return DesignPoint(
+        name=f"ordered (M=2^{m})",
+        modules=1 << m,
+        window_families=w + 1,
+        stride_fraction=window_fraction(w),
+        efficiency=efficiency(w, t),
+    )
+
+
+def window_doubling_cost(lambda_exponent: int, t: int) -> float:
+    """Module multiplier paid to double the window (5-E): ``M`` goes from
+    ``T`` to ``T**2``, i.e. a factor ``T = 2**t``."""
+    matched = matched_design_point(lambda_exponent, t)
+    unmatched = unmatched_design_point(lambda_exponent, t)
+    return unmatched.modules / matched.modules
+
+
+def maximum_extra_families(t: int) -> int:
+    """Section 5-G: the unmatched window could grow by ``t - 1`` more
+    families with restructured subsequences (not implemented, by design —
+    the paper rejects the hardware cost)."""
+    if t < 1:
+        raise ConfigurationError(f"t must be >= 1, got {t}")
+    return t - 1
+
+
+@dataclass(frozen=True)
+class LengthSensitivity:
+    """Section 5-H: conflict-free family counts by scheme and length."""
+
+    lambda_exponent: int
+    t: int
+    ordered_any_length: int
+    proposed_any_length: int
+    proposed_fixed_length: int
+
+
+def families_vs_length(lambda_exponent: int, t: int) -> LengthSensitivity:
+    """The 5-H comparison for an unmatched memory with ``m = 2t``.
+
+    * ordered access: at most ``t + 1`` families, any length;
+    * proposed scheme, arbitrary length: only the 2 families ``x = s``
+      and ``x = y`` (whose canonical access is already conflict-free);
+    * proposed scheme, ``L = 2**lambda``: ``2(lambda - t + 1)`` families.
+    """
+    _check(lambda_exponent, t)
+    return LengthSensitivity(
+        lambda_exponent=lambda_exponent,
+        t=t,
+        ordered_any_length=t + 1,
+        proposed_any_length=2,
+        proposed_fixed_length=2 * (lambda_exponent - t + 1),
+    )
+
+
+def _check(lambda_exponent: int, t: int) -> None:
+    if t < 0:
+        raise ConfigurationError(f"t must be >= 0, got {t}")
+    if lambda_exponent < t:
+        raise ConfigurationError(
+            f"lambda must be >= t (lambda={lambda_exponent}, t={t})"
+        )

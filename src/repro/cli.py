@@ -1,0 +1,325 @@
+"""Command-line interface: plan accesses, inspect windows, run experiments.
+
+Usage (also via ``python -m repro``)::
+
+    repro plan --t 3 --s 4 --base 16 --stride 12 --length 128 --timeline
+    repro plan --t 3 --s 4 --y 9 --stride 96 --length 128
+    repro window --lam 7 --t 3 --unmatched
+    repro experiments --ids E01,E03 --output EXPERIMENTS.md
+    repro survey --t 3 --s 4 --max-stride 32
+
+Every subcommand prints plain text; exit status is non-zero when an
+experiment check fails, so the CLI slots into shell-based CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.efficiency import efficiency
+from repro.analysis.fractions import conflict_free_fraction
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.core.windows import (
+    MatchedDesign,
+    UnmatchedDesign,
+)
+from repro.errors import ReproError
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+from repro.memory.trace import describe_result, render_timeline
+from repro.report.experiments import ALL_EXPERIMENTS
+from repro.report.tables import render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Conflict-free vector access (Valero et al., ISCA 1992) — "
+            "plan, simulate and reproduce"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser(
+        "plan", help="plan and simulate one vector access"
+    )
+    plan.add_argument("--t", type=int, default=3, help="T = 2**t (default 3)")
+    plan.add_argument("--s", type=int, default=4, help="Eq. (1)/(2) s")
+    plan.add_argument(
+        "--y", type=int, default=None,
+        help="Eq. (2) y; presence selects the unmatched M=T**2 memory",
+    )
+    plan.add_argument("--base", type=int, default=0, help="A1")
+    plan.add_argument("--stride", type=int, required=True)
+    plan.add_argument("--length", type=int, default=128)
+    plan.add_argument(
+        "--mode",
+        choices=["auto", "ordered", "subsequence", "conflict_free"],
+        default="auto",
+    )
+    plan.add_argument("--q", type=int, default=1, help="input buffers")
+    plan.add_argument("--qp", type=int, default=1, help="output buffers")
+    plan.add_argument(
+        "--timeline", action="store_true", help="print the module Gantt chart"
+    )
+
+    window = commands.add_parser(
+        "window", help="show the conflict-free window of a design"
+    )
+    window.add_argument("--lam", type=int, required=True, help="L = 2**lam")
+    window.add_argument("--t", type=int, default=3)
+    window.add_argument(
+        "--unmatched", action="store_true", help="use the M = T**2 design"
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="run paper-reproduction experiments"
+    )
+    experiments.add_argument(
+        "--ids", default="",
+        help="comma-separated experiment ids (default: all)",
+    )
+
+    survey = commands.add_parser(
+        "survey", help="latency per stride for one design"
+    )
+    survey.add_argument("--t", type=int, default=3)
+    survey.add_argument("--s", type=int, default=4)
+    survey.add_argument("--y", type=int, default=None)
+    survey.add_argument("--length", type=int, default=128)
+    survey.add_argument("--max-stride", type=int, default=32)
+
+    run = commands.add_parser(
+        "run", help="execute a vector-assembly file on the decoupled machine"
+    )
+    run.add_argument("file", help="assembly file (see `repro run --help`)")
+    run.add_argument("--t", type=int, default=3)
+    run.add_argument("--s", type=int, default=4)
+    run.add_argument("--y", type=int, default=None)
+    run.add_argument("--register-length", type=int, default=128)
+    run.add_argument("--chaining", action="store_true")
+    run.add_argument(
+        "--dump",
+        default=None,
+        metavar="BASE:STRIDE:COUNT",
+        help="print a memory vector after the run",
+    )
+
+    return parser
+
+
+def _build_config(t: int, s: int, y: int | None, q: int = 1, qp: int = 1):
+    if y is None:
+        return MemoryConfig.matched(t=t, s=s, input_capacity=q, output_capacity=qp)
+    return MemoryConfig.unmatched(
+        t=t, s=s, y=y, input_capacity=q, output_capacity=qp
+    )
+
+
+def command_plan(args: argparse.Namespace) -> int:
+    config = _build_config(args.t, args.s, args.y, args.q, args.qp)
+    planner = AccessPlanner(config.mapping, config.t)
+    system = MemorySystem(config)
+    vector = VectorAccess(args.base, args.stride, args.length)
+
+    plan = planner.plan(vector, mode=args.mode)
+    result = system.run_plan(plan)
+    print(f"memory:  {config.describe()}")
+    print(f"access:  {vector} (family x={vector.family}, sigma={vector.sigma})")
+    print(f"scheme:  {plan.scheme}")
+    print(f"result:  {describe_result(result, config.service_ratio)}")
+    if args.timeline:
+        print(render_timeline(result, config.module_count))
+    return 0
+
+
+def command_window(args: argparse.Namespace) -> int:
+    if args.unmatched:
+        design = UnmatchedDesign.recommended(args.lam, args.t)
+        window = design.fused_window()
+        print(
+            f"unmatched design: M={design.module_count}, T={1 << args.t}, "
+            f"s={design.s}, y={design.y}"
+        )
+    else:
+        matched = MatchedDesign.recommended(args.lam, args.t)
+        window = matched.window()
+        print(
+            f"matched design: M={matched.module_count}, T={1 << args.t}, "
+            f"s={matched.s}"
+        )
+    fraction = conflict_free_fraction(window.high)
+    eta = efficiency(window.high, args.t)
+    print(f"conflict-free families: {window} ({window.size} families)")
+    print(f"stride coverage f = {fraction} ({float(fraction):.6f})")
+    print(f"efficiency eta = {float(eta):.4f}")
+    return 0
+
+
+def command_experiments(args: argparse.Namespace) -> int:
+    wanted = (
+        [item.strip().upper() for item in args.ids.split(",") if item.strip()]
+        if args.ids
+        else sorted(ALL_EXPERIMENTS)
+    )
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for experiment_id in wanted:
+        result = ALL_EXPERIMENTS[experiment_id]()
+        print(f"== {experiment_id}: {result.title}")
+        print(render_table(result.headers, result.rows))
+        for check in result.checks:
+            status = "ok " if check.passed else "FAIL"
+            print(f"[{status}] {check.claim}")
+            if not check.passed:
+                failures += 1
+        print()
+    if failures:
+        print(f"{failures} checks FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def command_survey(args: argparse.Namespace) -> int:
+    config = _build_config(args.t, args.s, args.y)
+    planner = AccessPlanner(config.mapping, config.t)
+    system = MemorySystem(config)
+    minimum = config.service_ratio + args.length + 1
+    rows = []
+    for stride in range(1, args.max_stride + 1):
+        vector = VectorAccess(0, stride, args.length)
+        plan = planner.plan(vector, mode="auto")
+        result = system.run_plan(plan)
+        rows.append(
+            [
+                stride,
+                vector.family,
+                plan.scheme,
+                result.latency,
+                result.conflict_free,
+            ]
+        )
+    print(f"{config.describe()}, L={args.length}, minimum latency {minimum}")
+    print(
+        render_table(
+            ["stride", "family", "scheme", "latency", "conflict-free"], rows
+        )
+    )
+    return 0
+
+
+def _split_directives(text: str) -> tuple[list[str], list[str]]:
+    """Separate ``.init``/``.fill`` directive lines from assembly lines.
+
+    Directives (anywhere in the file, one per line):
+
+    * ``.init base=<int>, stride=<int>, values=<v;v;...>`` — store the
+      listed values as a constant-stride vector;
+    * ``.fill base=<int>, stride=<int>, count=<int>, value=<float>`` —
+      store ``count`` copies of one value.
+    """
+    directives: list[str] = []
+    program_lines: list[str] = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if stripped.startswith("."):
+            directives.append(stripped)
+        else:
+            program_lines.append(line)
+    return directives, program_lines
+
+
+def _apply_directive(machine, directive: str) -> None:
+    from repro.errors import ProgramError
+
+    name, _, rest = directive.partition(" ")
+    fields: dict[str, str] = {}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ProgramError(f"bad directive field {part!r} in {directive!r}")
+        key, _, value = part.partition("=")
+        fields[key.strip()] = value.strip()
+    try:
+        if name == ".init":
+            values = [float(v) for v in fields["values"].split(";") if v]
+            machine.store.write_vector(
+                int(fields["base"]), int(fields["stride"]), values
+            )
+        elif name == ".fill":
+            machine.store.write_vector(
+                int(fields["base"]),
+                int(fields["stride"]),
+                [float(fields["value"])] * int(fields["count"]),
+            )
+        else:
+            raise ProgramError(f"unknown directive {name!r}")
+    except (KeyError, ValueError) as error:
+        raise ProgramError(f"bad directive {directive!r}: {error}") from None
+
+
+def command_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.processor.decoupled import DecoupledVectorMachine
+    from repro.processor.program import assemble
+
+    config = _build_config(args.t, args.s, args.y, q=2)
+    machine = DecoupledVectorMachine(
+        config,
+        register_length=args.register_length,
+        chaining=args.chaining,
+    )
+    text = Path(args.file).read_text()
+    directives, program_lines = _split_directives(text)
+    for directive in directives:
+        _apply_directive(machine, directive)
+    program = assemble("\n".join(program_lines))
+    result = machine.run(program)
+
+    print(f"memory:  {config.describe()}")
+    print(f"program: {len(program)} instructions "
+          f"({program.memory_instruction_count()} memory ops)")
+    print(f"cycles:  {result.total_cycles} "
+          f"(chained ops: {result.chained_count()}, conflict-free loads: "
+          f"{result.conflict_free_loads()})")
+    for timing in result.timings:
+        print(
+            f"  [{timing.start_cycle:6d}..{timing.end_cycle:6d}] "
+            f"{timing.unit:7s} {timing.mnemonic:8s} {timing.mode}"
+        )
+    if args.dump:
+        base, stride, count = (int(part) for part in args.dump.split(":"))
+        values = machine.store.read_vector(base, stride, count)
+        print(f"dump @{base} stride {stride}: {values}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "plan": command_plan,
+        "window": command_window,
+        "experiments": command_experiments,
+        "survey": command_survey,
+        "run": command_run,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Core algorithms: the paper's primary contribution.
+
+Stride-family algebra, distribution theory (Section 2), the Lemma-2/4
+subsequence decompositions, the three request orderings, the Theorem-1/3
+conflict-free windows and the access planner that ties them together.
+"""
+
+from repro.core.distributions import (
+    PeriodAnalysis,
+    canonical_temporal_distribution,
+    conflict_count,
+    ctp_period,
+    first_conflict,
+    is_conflict_free,
+    is_t_matched,
+    spatial_distribution,
+    temporal_distribution,
+    vector_is_t_matched,
+)
+from repro.core.gather import IndexedAccess, IndexedPlan, plan_indexed
+from repro.core.families import (
+    StrideFamily,
+    decompose_stride,
+    families_up_to,
+    family_fraction,
+    family_of,
+    odd_part,
+    strides_of_families,
+    window_fraction,
+)
+from repro.core.orderings import (
+    RequestOrder,
+    canonical_order,
+    conflict_free_order,
+    subsequence_order,
+)
+from repro.core.planner import AccessPlan, AccessPlanner
+from repro.core.scheduler import (
+    OraclePlanner,
+    feasible_with_cooldown,
+    schedule_with_cooldown,
+)
+from repro.core.shortvec import CompositePlan, plan_short_vector
+from repro.core.subsequences import SubsequencePlan, build_subsequences
+from repro.core.vector import VectorAccess
+from repro.core.windows import (
+    MatchedDesign,
+    UnmatchedDesign,
+    Window,
+    fused_unmatched_window,
+    matched_ordered_window,
+    matched_window,
+    recommended_s,
+    recommended_y,
+    unmatched_ordered_window,
+    unmatched_windows,
+)
+
+__all__ = [
+    "AccessPlan",
+    "AccessPlanner",
+    "CompositePlan",
+    "IndexedAccess",
+    "IndexedPlan",
+    "MatchedDesign",
+    "OraclePlanner",
+    "PeriodAnalysis",
+    "RequestOrder",
+    "StrideFamily",
+    "SubsequencePlan",
+    "UnmatchedDesign",
+    "VectorAccess",
+    "Window",
+    "build_subsequences",
+    "canonical_order",
+    "canonical_temporal_distribution",
+    "conflict_count",
+    "conflict_free_order",
+    "ctp_period",
+    "decompose_stride",
+    "families_up_to",
+    "family_fraction",
+    "family_of",
+    "feasible_with_cooldown",
+    "first_conflict",
+    "fused_unmatched_window",
+    "is_conflict_free",
+    "is_t_matched",
+    "matched_ordered_window",
+    "matched_window",
+    "odd_part",
+    "plan_indexed",
+    "plan_short_vector",
+    "recommended_s",
+    "recommended_y",
+    "schedule_with_cooldown",
+    "spatial_distribution",
+    "strides_of_families",
+    "subsequence_order",
+    "temporal_distribution",
+    "unmatched_ordered_window",
+    "unmatched_windows",
+    "vector_is_t_matched",
+    "window_fraction",
+]

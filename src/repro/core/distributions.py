@@ -1,0 +1,157 @@
+"""Spatial and temporal distributions, T-matched and conflict-free tests.
+
+Direct implementations of the Section 2 definitions:
+
+* the SPATIAL DISTRIBUTION ``SD`` counts vector elements per module;
+  a vector is *T-matched* when ``SD(i) <= L / T`` for all modules;
+* the TEMPORAL DISTRIBUTION is the module sequence in request order;
+  it is CONFLICT FREE when every ``T`` consecutively requested elements
+  land in ``T`` distinct modules;
+* the CANONICAL temporal distribution (CTP) is the in-order one, and its
+  period ``Px`` gives the chunking used by the reorderings.
+
+These predicates are the ground truth the theorems are tested against and
+the cross-check the cycle-accurate simulator must agree with.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.vector import VectorAccess
+from repro.errors import VectorSpecError
+from repro.mappings.base import AddressMapping
+
+
+def spatial_distribution(
+    mapping: AddressMapping, vector: VectorAccess
+) -> list[int]:
+    """Element count per module (the M-tuple ``SD`` of Section 2)."""
+    counts = Counter(
+        mapping.module_of(mapping.reduce(address)) for address in vector.addresses()
+    )
+    return [counts.get(module, 0) for module in range(mapping.module_count)]
+
+def is_t_matched(distribution: Sequence[int], service_ratio: int) -> bool:
+    """T-matched test: no module holds more than ``L / T`` elements.
+
+    ``service_ratio`` is ``T = 2**t``.  The definition implies at least
+    ``T`` modules are non-empty when the test passes (the counts must sum
+    to ``L``).
+    """
+    if service_ratio < 1:
+        raise VectorSpecError(f"T must be >= 1, got {service_ratio}")
+    total = sum(distribution)
+    return all(count * service_ratio <= total for count in distribution)
+
+
+def vector_is_t_matched(
+    mapping: AddressMapping, vector: VectorAccess, service_ratio: int
+) -> bool:
+    """Convenience wrapper: spatial distribution of the vector, tested."""
+    return is_t_matched(spatial_distribution(mapping, vector), service_ratio)
+
+
+def canonical_temporal_distribution(
+    mapping: AddressMapping, vector: VectorAccess
+) -> list[int]:
+    """Module sequence when elements are requested in element order."""
+    return mapping.module_sequence(vector.base, vector.stride, vector.length)
+
+
+def temporal_distribution(
+    mapping: AddressMapping, vector: VectorAccess, order: Sequence[int]
+) -> list[int]:
+    """Module sequence for an arbitrary request ``order``.
+
+    ``order`` is a permutation (or prefix) of element indices; entry ``k``
+    names the element requested at position ``k``.
+    """
+    return [
+        mapping.module_of(mapping.reduce(vector.address_of(index)))
+        for index in order
+    ]
+
+
+def is_conflict_free(modules: Sequence[int], service_ratio: int) -> bool:
+    """True when every window of ``T`` consecutive requests is distinct.
+
+    This is the paper's definition of a conflict-free temporal
+    distribution: a module receives a new request no sooner than ``T``
+    cycles after the previous one, so it is never busy when addressed.
+    """
+    if service_ratio < 1:
+        raise VectorSpecError(f"T must be >= 1, got {service_ratio}")
+    last_seen: dict[int, int] = {}
+    for position, module in enumerate(modules):
+        previous = last_seen.get(module)
+        if previous is not None and position - previous < service_ratio:
+            return False
+        last_seen[module] = position
+    return True
+
+
+def first_conflict(modules: Sequence[int], service_ratio: int) -> int | None:
+    """Position of the first conflicting request, or None if conflict-free."""
+    last_seen: dict[int, int] = {}
+    for position, module in enumerate(modules):
+        previous = last_seen.get(module)
+        if previous is not None and position - previous < service_ratio:
+            return position
+        last_seen[module] = position
+    return None
+
+
+def conflict_count(modules: Sequence[int], service_ratio: int) -> int:
+    """Number of requests that would find their module still busy.
+
+    Counts, for an idealised one-request-per-cycle issue with no stalls,
+    how many requests arrive within ``T`` positions of a previous request
+    to the same module.  A diagnostic (the real stall behaviour with
+    buffers comes from the cycle-accurate simulator).
+    """
+    last_seen: dict[int, int] = {}
+    conflicts = 0
+    for position, module in enumerate(modules):
+        previous = last_seen.get(module)
+        if previous is not None and position - previous < service_ratio:
+            conflicts += 1
+        last_seen[module] = position
+    return conflicts
+
+
+@dataclass(frozen=True)
+class PeriodAnalysis:
+    """The canonical temporal distribution of one period (``CTPx``)."""
+
+    family: int
+    period: int
+    modules: tuple[int, ...]
+
+    def is_t_matched(self, service_ratio: int) -> bool:
+        """T-matched test applied to one period (Lemma 1 prerequisite)."""
+        counts = Counter(self.modules)
+        return all(
+            count * service_ratio <= self.period for count in counts.values()
+        )
+
+    def modules_visited(self) -> int:
+        """Number of distinct modules appearing in the period."""
+        return len(set(self.modules))
+
+
+def ctp_period(mapping: AddressMapping, vector: VectorAccess) -> PeriodAnalysis:
+    """One period of the canonical temporal distribution of ``vector``.
+
+    The period length comes from the mapping's analytic ``period()``;
+    if the vector is shorter than one period the analysis covers the
+    whole vector (flagged by ``period > len(modules)`` never happening —
+    we truncate and the caller can compare lengths).
+    """
+    family = vector.family
+    period = mapping.period(family)
+    span = min(period, vector.length)
+    modules = mapping.module_sequence(vector.base, vector.stride, span)
+    return PeriodAnalysis(family=family, period=period, modules=tuple(modules))

@@ -1,0 +1,122 @@
+"""Stride families: the sigma * 2**x decomposition used throughout the paper.
+
+Every non-zero integer stride ``S`` factors uniquely as ``S = sigma * 2**x``
+with ``sigma`` odd.  Following Harper and Linebarger (and Section 2 of the
+paper) all strides with the same exponent ``x`` form the *family* ``x``:
+they behave identically with respect to the XOR mappings, because only the
+power-of-two part of the stride determines which address bits cycle.
+
+The fraction of strides that belong to family ``x`` (among all non-zero
+integers, equivalently among a uniform choice of odd/even factorisations)
+is ``2**-(x+1)``: half of all strides are odd (family 0), a quarter are
+twice an odd number (family 1), and so on.  Section 5-A of the paper uses
+these fractions to weigh the conflict-free window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import VectorSpecError
+
+
+def decompose_stride(stride: int) -> tuple[int, int]:
+    """Return ``(sigma, x)`` with ``stride = sigma * 2**x`` and sigma odd.
+
+    Negative strides are supported: the sign is carried by ``sigma`` so
+    that ``x`` still identifies the family (the module-sequence algebra is
+    unchanged under negation because it works modulo powers of two).
+
+    Raises
+    ------
+    VectorSpecError
+        If ``stride`` is zero, which has no family (a zero-stride access
+        touches a single address and is rejected by the planner).
+    """
+    if stride == 0:
+        raise VectorSpecError("stride 0 has no sigma * 2**x decomposition")
+    x = 0
+    sigma = stride
+    while sigma % 2 == 0:
+        sigma //= 2
+        x += 1
+    return sigma, x
+
+
+def family_of(stride: int) -> int:
+    """Return the family exponent ``x`` of ``stride`` (sigma * 2**x)."""
+    return decompose_stride(stride)[1]
+
+
+def odd_part(stride: int) -> int:
+    """Return the odd factor ``sigma`` of ``stride``."""
+    return decompose_stride(stride)[0]
+
+
+def family_fraction(family: int) -> Fraction:
+    """Fraction of all strides that belong to ``family`` (= ``2**-(x+1)``)."""
+    if family < 0:
+        raise VectorSpecError(f"stride family must be >= 0, got {family}")
+    return Fraction(1, 2 ** (family + 1))
+
+
+def window_fraction(window: int) -> Fraction:
+    """Fraction of strides covered by families ``0..window`` inclusive.
+
+    Section 5-A:  ``f = 1 - 2**-(w+1)``.
+    """
+    if window < 0:
+        raise VectorSpecError(f"window bound must be >= 0, got {window}")
+    return Fraction(1) - Fraction(1, 2 ** (window + 1))
+
+
+@dataclass(frozen=True)
+class StrideFamily:
+    """The set of strides ``sigma * 2**x`` with ``sigma`` odd, for fixed x."""
+
+    x: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0:
+            raise VectorSpecError(f"stride family must be >= 0, got {self.x}")
+
+    def contains(self, stride: int) -> bool:
+        """True when ``stride`` belongs to this family."""
+        return stride != 0 and family_of(stride) == self.x
+
+    def representative(self) -> int:
+        """The smallest positive member, ``2**x`` itself (sigma = 1)."""
+        return 1 << self.x
+
+    def members(self, bound: int) -> list[int]:
+        """All positive members ``<= bound``, in increasing order."""
+        step = 1 << (self.x + 1)
+        first = 1 << self.x
+        return list(range(first, bound + 1, step))
+
+    def fraction(self) -> Fraction:
+        """Fraction of all strides in this family (``2**-(x+1)``)."""
+        return family_fraction(self.x)
+
+    def __str__(self) -> str:
+        return f"family x={self.x} (strides sigma*2^{self.x}, sigma odd)"
+
+
+def families_up_to(max_x: int) -> list[StrideFamily]:
+    """The families ``0..max_x`` inclusive, e.g. a conflict-free window."""
+    if max_x < 0:
+        raise VectorSpecError(f"max_x must be >= 0, got {max_x}")
+    return [StrideFamily(x) for x in range(max_x + 1)]
+
+
+def strides_of_families(max_stride: int) -> dict[int, list[int]]:
+    """Group the strides ``1..max_stride`` by family exponent.
+
+    Useful for Monte-Carlo estimates of the conflict-free fraction
+    (experiment E08): the returned dict maps family ``x`` to its members.
+    """
+    groups: dict[int, list[int]] = {}
+    for stride in range(1, max_stride + 1):
+        groups.setdefault(family_of(stride), []).append(stride)
+    return groups

@@ -1,0 +1,138 @@
+"""Request orderings: canonical, subsequence (Sec 3.1), conflict-free (3.2/4.2).
+
+A *request order* is the permutation of element indices in which the
+memory-access unit issues the vector's elements.  Three orders matter:
+
+* **canonical** — elements in order; conflict-free only for the single
+  family ``x = s`` (matched Eq. 1) or ``s <= x <= s+m-t`` (unmatched);
+* **subsequence** (Section 3.1) — the Figure 4 loop nest: subsequences
+  issued back-to-back in their natural order.  Each subsequence is
+  conflict-free on its own, but different subsequences may have different
+  temporal distributions, so the whole vector can still conflict (bounded
+  excess latency of at most ``T - 1`` cycles with ``q = 2`` input
+  buffers);
+* **conflict-free** (Sections 3.2 / 4.2) — every subsequence is issued in
+  the *key order of the first subsequence*, where the key is the module
+  number (matched), the supermodule number (unmatched, low window) or the
+  section number (unmatched, high window).  Requests to the same module
+  are then always exactly ``T`` issue slots apart, so the whole vector is
+  conflict-free and completes in the minimum ``T + L + 1`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.subsequences import SubsequencePlan
+from repro.core.vector import VectorAccess
+from repro.errors import OrderingError
+
+#: Signature of a reorder key: maps an (unreduced) element address to the
+#: small integer the conflict-free ordering aligns across subsequences.
+KeyFunction = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class RequestOrder:
+    """A complete issue order for one vector access.
+
+    Attributes
+    ----------
+    name:
+        ``"canonical"``, ``"subsequence"`` or ``"conflict_free"``.
+    indices:
+        Element indices (0-based) in issue order; always a permutation of
+        ``range(vector.length)``.
+    vector:
+        The access the order belongs to.
+    """
+
+    name: str
+    indices: tuple[int, ...]
+    vector: VectorAccess
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != self.vector.length:
+            raise OrderingError(
+                f"order has {len(self.indices)} entries for a vector of "
+                f"length {self.vector.length}"
+            )
+
+    def addresses(self) -> list[int]:
+        """Element addresses in issue order (unreduced)."""
+        return [self.vector.address_of(index) for index in self.indices]
+
+    def is_permutation(self) -> bool:
+        """Sanity check used by the tests."""
+        return sorted(self.indices) == list(range(self.vector.length))
+
+
+def canonical_order(vector: VectorAccess) -> RequestOrder:
+    """Elements in natural order (the ordered-access baseline)."""
+    return RequestOrder("canonical", tuple(range(vector.length)), vector)
+
+
+def subsequence_order(plan: SubsequencePlan) -> RequestOrder:
+    """The Section 3.1 order: subsequences back-to-back, natural order.
+
+    Matches the Figure 4 control loop: within a subsequence the address
+    grows by ``sigma * 2**w``; between subsequences and across chunk
+    boundaries it steps by ``sigma * 2**x``.
+    """
+    return RequestOrder(
+        "subsequence", tuple(plan.all_indices_natural()), plan.vector
+    )
+
+
+def conflict_free_order(
+    plan: SubsequencePlan, key_of: KeyFunction
+) -> RequestOrder:
+    """The Section 3.2 / 4.2 order: align every subsequence on the first.
+
+    ``key_of`` maps an element address to the alignment key; Lemmas 2 and
+    4 guarantee the key takes all ``2**t`` values exactly once inside
+    every subsequence, and the XOR mappings guarantee the key of a given
+    (chunk, subsequence, position) only depends on the position pattern —
+    so issuing each subsequence in the first subsequence's key order puts
+    same-key (hence possibly same-module) requests exactly ``T`` slots
+    apart.
+
+    Raises
+    ------
+    OrderingError
+        If some subsequence does not contain every key exactly once —
+        i.e. the caller applied the ordering outside its window of
+        validity.
+    """
+    vector = plan.vector
+    first_indices = plan.subsequence_indices(0, 0)
+    key_sequence = [key_of(vector.address_of(i)) for i in first_indices]
+    if len(set(key_sequence)) != len(key_sequence):
+        raise OrderingError(
+            f"first subsequence repeats a key ({key_sequence}); the "
+            "conflict-free ordering requires distinct keys per subsequence"
+        )
+    position_of_key = {key: pos for pos, key in enumerate(key_sequence)}
+
+    ordered: list[int] = []
+    slots: list[int | None] = [None] * len(key_sequence)
+    for chunk, sub, indices in plan.iter_subsequences():
+        for slot in range(len(slots)):
+            slots[slot] = None
+        for index in indices:
+            key = key_of(vector.address_of(index))
+            position = position_of_key.get(key)
+            if position is None:
+                raise OrderingError(
+                    f"subsequence ({chunk}, {sub}) produced key {key} absent "
+                    f"from the first subsequence {key_sequence}"
+                )
+            if slots[position] is not None:
+                raise OrderingError(
+                    f"subsequence ({chunk}, {sub}) repeats key {key}; the "
+                    "reordering window does not cover this stride family"
+                )
+            slots[position] = index
+        ordered.extend(slot for slot in slots if slot is not None)
+    return RequestOrder("conflict_free", tuple(ordered), vector)

@@ -1,0 +1,210 @@
+"""The access planner: chooses and materialises a request order.
+
+This is the library's central entry point.  Given a mapping, the memory's
+service ratio ``T = 2**t`` and a :class:`~repro.core.vector.VectorAccess`,
+the planner produces an :class:`AccessPlan` — the exact issue order of the
+vector's elements together with its temporal distribution and a
+conflict-freedom verdict.  The plan's request stream feeds both the
+cycle-accurate simulator (:mod:`repro.memory`) and the register-level
+hardware models (:mod:`repro.hardware`), which are tested to reproduce it
+cycle for cycle.
+
+Scheme selection (mode ``"auto"``) follows the paper:
+
+* matched-style mappings (anything exposing the ``s`` exponent — Eq. (1),
+  field interleaving, skewing): Lemma-2 subsequences aligned on the first
+  subsequence's *module* order (Section 3.2);
+* the section mapping of Eq. (2): low-window families use Lemma-2
+  subsequences aligned on *supermodule* order, high-window families use
+  Lemma-4 subsequences aligned on *section* order (Section 4.2);
+* anything else (family outside the windows, length not a chunk multiple,
+  mapping without structure): ordered access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.distributions import (
+    is_conflict_free,
+    spatial_distribution,
+    is_t_matched,
+)
+from repro.core.orderings import (
+    RequestOrder,
+    canonical_order,
+    conflict_free_order,
+    subsequence_order,
+)
+from repro.core.subsequences import build_subsequences
+from repro.core.vector import VectorAccess
+from repro.errors import ConfigurationError, OrderingError
+from repro.mappings.base import AddressMapping
+from repro.mappings.section import SectionXorMapping
+
+PlanMode = Literal["auto", "ordered", "subsequence", "conflict_free"]
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """A fully materialised vector access.
+
+    Attributes
+    ----------
+    vector:
+        The access being planned.
+    order:
+        The issue order (a permutation of element indices).
+    modules:
+        Temporal distribution: module of each request in issue order.
+    service_ratio:
+        ``T = 2**t``.
+    conflict_free:
+        Verdict of the Section 2 definition on ``modules``.
+    """
+
+    vector: VectorAccess
+    order: RequestOrder
+    modules: tuple[int, ...]
+    service_ratio: int
+    conflict_free: bool
+
+    @property
+    def scheme(self) -> str:
+        """Name of the ordering used (``canonical`` / ``subsequence`` /
+        ``conflict_free``)."""
+        return self.order.name
+
+    @property
+    def minimum_latency(self) -> int:
+        """The conflict-free latency ``T + L + 1`` (Section 2)."""
+        return self.service_ratio + self.vector.length + 1
+
+    def request_stream(self) -> list[tuple[int, int]]:
+        """``(element_index, address)`` pairs in issue order.
+
+        The element index travels with the request so the vector register
+        file can be written in element order even though requests are
+        issued out of order (Section 5-D: the register must be random
+        access).
+        """
+        return [
+            (index, self.vector.address_of(index)) for index in self.order.indices
+        ]
+
+
+class AccessPlanner:
+    """Builds :class:`AccessPlan` objects for one memory configuration.
+
+    Parameters
+    ----------
+    mapping:
+        The module-number mapping of the memory.
+    t:
+        ``T = 2**t`` — the module service time in processor cycles.  For a
+        matched memory ``t == mapping.module_bits``; an unmatched memory
+        has more module bits than ``t``.
+    """
+
+    def __init__(self, mapping: AddressMapping, t: int):
+        if t < 0:
+            raise ConfigurationError(f"t must be >= 0, got {t}")
+        if mapping.module_bits < t:
+            raise ConfigurationError(
+                f"memory with {mapping.module_count} modules cannot hide a "
+                f"service time of 2**{t} cycles (m={mapping.module_bits} < t={t})"
+            )
+        self.mapping = mapping
+        self.t = t
+
+    @property
+    def service_ratio(self) -> int:
+        """``T = 2**t``."""
+        return 1 << self.t
+
+    def plan(self, vector: VectorAccess, mode: PlanMode = "auto") -> AccessPlan:
+        """Materialise an access plan for ``vector``.
+
+        ``mode``:
+
+        * ``"auto"`` — conflict-free reordering when the stride family and
+          length allow it, otherwise ordered access (never raises for a
+          valid vector);
+        * ``"ordered"`` — canonical order;
+        * ``"subsequence"`` — the Section 3.1 order (raises
+          :class:`~repro.errors.OrderingError` outside its window);
+        * ``"conflict_free"`` — the Section 3.2/4.2 order (same).
+        """
+        if mode == "ordered":
+            return self._finish(vector, canonical_order(vector))
+        if mode == "subsequence":
+            w, _ = self._reorder_parameters(vector)
+            plan = build_subsequences(vector, w, self.t)
+            return self._finish(vector, subsequence_order(plan))
+        if mode == "conflict_free":
+            return self._conflict_free(vector)
+        if mode == "auto":
+            try:
+                return self._conflict_free(vector)
+            except OrderingError:
+                return self._finish(vector, canonical_order(vector))
+        raise ConfigurationError(f"unknown plan mode {mode!r}")
+
+    def _conflict_free(self, vector: VectorAccess) -> AccessPlan:
+        w, key_of = self._reorder_parameters(vector)
+        plan = build_subsequences(vector, w, self.t)
+        return self._finish(vector, conflict_free_order(plan, key_of))
+
+    def _reorder_parameters(self, vector: VectorAccess):
+        """Pick the decomposition exponent ``w`` and the alignment key.
+
+        Returns ``(w, key_of)`` where ``key_of`` maps an element address
+        to the value aligned across subsequences.
+        """
+        mapping = self.mapping
+        x = vector.family
+        if isinstance(mapping, SectionXorMapping):
+            if x <= mapping.s:
+                # Align on the within-section module field b[t-1..0]
+                # (Section 4.2 stores exactly these bits).  Inside one
+                # subsequence it equals the supermodule number XOR a
+                # constant, but across subsequences with x < t the low
+                # address bits change, and only the b-field alignment
+                # keeps same-module requests exactly T slots apart.
+                return mapping.s, mapping.module_within_section
+            return mapping.y, mapping.section_of
+        s = getattr(mapping, "s", None)
+        if s is None:
+            raise OrderingError(
+                f"mapping {mapping.describe()} exposes no stride-window "
+                "structure; only ordered access is available"
+            )
+        if x > s:
+            raise OrderingError(
+                f"stride family x={x} lies above the mapping exponent s={s}; "
+                "the Lemma-2 decomposition does not apply"
+            )
+        return s, mapping.module_of
+
+    def _finish(self, vector: VectorAccess, order: RequestOrder) -> AccessPlan:
+        modules = tuple(
+            self.mapping.module_of(self.mapping.reduce(address))
+            for address in order.addresses()
+        )
+        return AccessPlan(
+            vector=vector,
+            order=order,
+            modules=modules,
+            service_ratio=self.service_ratio,
+            conflict_free=is_conflict_free(modules, self.service_ratio),
+        )
+
+    def vector_t_matched(self, vector: VectorAccess) -> bool:
+        """Section 2: is the vector's spatial distribution T-matched?
+
+        A necessary condition for any conflict-free temporal distribution
+        (used by the theorem-verification tests)."""
+        return is_t_matched(
+            spatial_distribution(self.mapping, vector), self.service_ratio
+        )

@@ -1,0 +1,222 @@
+"""Conflict-free stride windows — Theorems 1 and 3 and the parameter choices.
+
+Matched memory (Theorem 1): with the Eq. (1) mapping, vectors of length
+``L = 2**lambda`` are T-matched — and conflict-free under the Section 3.2
+reordering — for the families ``s - N <= x <= s`` with
+``N = min(lambda - t, s)``.  Section 3.3 recommends ``s = lambda - t``,
+giving the window ``0 <= x <= lambda - t``.
+
+Unmatched memory with ``M = T**2`` (Theorem 3): the Eq. (2) mapping adds a
+second window ``y - R <= x <= y`` with ``R = min(lambda - t, y)``; choosing
+``s = lambda - t`` and ``y = 2(lambda - t) + 1`` fuses the two into the
+single window ``0 <= x <= 2(lambda - t) + 1``.
+
+For comparison, ordered access provides a single family ``x = s`` on the
+matched mapping and the ``m - t + 1`` families ``s <= x <= s + m - t`` on
+an unmatched Eq. (1) mapping (Harper 1991).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.section import SectionXorMapping
+
+
+@dataclass(frozen=True)
+class Window:
+    """An inclusive range ``[low, high]`` of conflict-free stride families."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(
+                f"window [{self.low}, {self.high}] is empty or negative"
+            )
+
+    def contains(self, family: int) -> bool:
+        """True when stride family ``family`` lies in the window."""
+        return self.low <= family <= self.high
+
+    @property
+    def size(self) -> int:
+        """Number of families in the window."""
+        return self.high - self.low + 1
+
+    def families(self) -> list[int]:
+        """All family exponents in the window, ascending."""
+        return list(range(self.low, self.high + 1))
+
+    def __str__(self) -> str:
+        return f"[{self.low}..{self.high}]"
+
+
+def matched_window(lambda_exponent: int, t: int, s: int) -> Window:
+    """Theorem 1: families ``s - N .. s`` with ``N = min(lambda - t, s)``."""
+    _check_matched_params(lambda_exponent, t, s)
+    n = min(lambda_exponent - t, s)
+    return Window(s - n, s)
+
+
+def matched_ordered_window(s: int) -> Window:
+    """Ordered access on Eq. (1): the single family ``x = s``."""
+    return Window(s, s)
+
+
+def unmatched_ordered_window(s: int, m: int, t: int) -> Window:
+    """Ordered access, unmatched Eq. (1) with ``m`` module bits:
+    families ``s .. s + m - t`` (Harper 1991)."""
+    if m < t:
+        raise ConfigurationError(f"unmatched memory needs m >= t (m={m}, t={t})")
+    return Window(s, s + m - t)
+
+
+def unmatched_windows(
+    lambda_exponent: int, t: int, s: int, y: int
+) -> tuple[Window, Window]:
+    """Theorem 3: the two windows ``[s-N, s]`` and ``[y-R, y]``.
+
+    ``N = min(lambda - t, s)``, ``R = min(lambda - t, y)``.  The paper
+    additionally assumes ``y - R >= s + 1`` so the windows partition the
+    family axis cleanly.
+    """
+    _check_matched_params(lambda_exponent, t, s)
+    if y < s + t:
+        raise ConfigurationError(f"Eq. (2) requires y >= s + t (y={y})")
+    n = min(lambda_exponent - t, s)
+    r = min(lambda_exponent - t, y)
+    low = Window(s - n, s)
+    high = Window(y - r, y)
+    if high.low < s + 1:
+        raise ConfigurationError(
+            f"expected y - R >= s + 1 for a clean partition "
+            f"(y={y}, R={r}, s={s}); choose a larger y"
+        )
+    return low, high
+
+
+def fused_unmatched_window(lambda_exponent: int, t: int, s: int, y: int) -> Window:
+    """The single window when ``y - R = s + 1`` (Section 4.3).
+
+    Raises if the two Theorem-3 windows do not actually abut.
+    """
+    low, high = unmatched_windows(lambda_exponent, t, s, y)
+    if high.low != low.high + 1:
+        raise ConfigurationError(
+            f"windows {low} and {high} do not abut; with s={s}, y={y} there "
+            f"is a gap of families {low.high + 1}..{high.low - 1}"
+        )
+    return Window(low.low, high.high)
+
+
+def recommended_s(lambda_exponent: int, t: int) -> int:
+    """Section 3.3: ``s = lambda - t`` maximises the matched window and
+    includes the odd strides (family 0)."""
+    if lambda_exponent < t:
+        raise ConfigurationError(
+            f"lambda must be >= t so the register holds at least T elements "
+            f"(lambda={lambda_exponent}, t={t})"
+        )
+    return lambda_exponent - t
+
+
+def recommended_y(lambda_exponent: int, t: int) -> int:
+    """Section 4.3: ``y = 2(lambda - t) + 1`` fuses the two windows."""
+    return 2 * recommended_s(lambda_exponent, t) + 1
+
+
+def _check_matched_params(lambda_exponent: int, t: int, s: int) -> None:
+    if t < 0:
+        raise ConfigurationError(f"t must be >= 0, got {t}")
+    if lambda_exponent < t:
+        raise ConfigurationError(
+            f"vectors shorter than T cannot be T-matched "
+            f"(lambda={lambda_exponent}, t={t})"
+        )
+    if s < t:
+        raise ConfigurationError(f"Eq. (1) requires s >= t (s={s}, t={t})")
+
+
+@dataclass(frozen=True)
+class MatchedDesign:
+    """A complete matched-memory design point (Section 3.3).
+
+    Bundles the Eq. (1) mapping with its conflict-free window for vectors
+    of length ``2**lambda``.  ``s`` defaults to the recommended
+    ``lambda - t``.
+    """
+
+    lambda_exponent: int
+    t: int
+    s: int
+    address_bits: int = 32
+
+    @classmethod
+    def recommended(
+        cls, lambda_exponent: int, t: int, address_bits: int = 32
+    ) -> "MatchedDesign":
+        s = max(recommended_s(lambda_exponent, t), t)
+        return cls(lambda_exponent, t, s, address_bits)
+
+    def mapping(self) -> MatchedXorMapping:
+        """The Eq. (1) mapping of this design."""
+        return MatchedXorMapping(self.t, self.s, self.address_bits)
+
+    def window(self) -> Window:
+        """Theorem-1 conflict-free window for out-of-order access."""
+        return matched_window(self.lambda_exponent, self.t, self.s)
+
+    def ordered_window(self) -> Window:
+        """Single family served conflict-free by ordered access."""
+        return matched_ordered_window(self.s)
+
+    @property
+    def vector_length(self) -> int:
+        return 1 << self.lambda_exponent
+
+    @property
+    def module_count(self) -> int:
+        return 1 << self.t
+
+
+@dataclass(frozen=True)
+class UnmatchedDesign:
+    """A complete unmatched-memory design point (Section 4.3, ``M = T**2``)."""
+
+    lambda_exponent: int
+    t: int
+    s: int
+    y: int
+    address_bits: int = 32
+
+    @classmethod
+    def recommended(
+        cls, lambda_exponent: int, t: int, address_bits: int = 32
+    ) -> "UnmatchedDesign":
+        s = max(recommended_s(lambda_exponent, t), t)
+        y = max(recommended_y(lambda_exponent, t), s + t)
+        return cls(lambda_exponent, t, s, y, address_bits)
+
+    def mapping(self) -> SectionXorMapping:
+        """The Eq. (2) mapping of this design."""
+        return SectionXorMapping(self.t, self.s, self.y, self.address_bits)
+
+    def windows(self) -> tuple[Window, Window]:
+        """The two Theorem-3 windows (low/Lemma-2, high/Lemma-4)."""
+        return unmatched_windows(self.lambda_exponent, self.t, self.s, self.y)
+
+    def fused_window(self) -> Window:
+        """The single fused window when the recommended ``y`` is used."""
+        return fused_unmatched_window(self.lambda_exponent, self.t, self.s, self.y)
+
+    @property
+    def vector_length(self) -> int:
+        return 1 << self.lambda_exponent
+
+    @property
+    def module_count(self) -> int:
+        return 1 << (2 * self.t)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+violations of the paper's preconditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A memory-system or mapping parameter is inconsistent.
+
+    Raised when geometry parameters violate the paper's model, e.g. a
+    module count that is not a power of two, ``s < t`` for the matched
+    linear mapping of Eq. (1), or ``y < s + t`` for the section mapping of
+    Eq. (2).
+    """
+
+
+class VectorSpecError(ReproError):
+    """A vector access request is malformed (zero stride, bad length...)."""
+
+
+class OrderingError(ReproError):
+    """A request ordering cannot be built for the given stride family.
+
+    The out-of-order schemes of Sections 3 and 4 require the vector length
+    to be a multiple of the subsequence chunk (``L = k * Px``).  When that
+    precondition fails the planner either falls back to ordered access or,
+    if the caller explicitly asked for a reordered access, raises this.
+    """
+
+
+class HardwareModelError(ReproError):
+    """A register-level hardware model violated one of its structural
+    budgets (latch count, one-add-per-cycle, queue capacity)."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate memory simulator detected an inconsistency,
+    e.g. a request stream entry for an element index outside the vector."""
+
+
+class RegisterFileError(ReproError):
+    """Illegal access to a vector register file, e.g. out-of-order delivery
+    into a FIFO-organized register (Section 5-D) or reading an element that
+    has not been written."""
+
+
+class ProgramError(ReproError):
+    """A vector program is malformed (undefined register, bad operands)."""

@@ -1,0 +1,30 @@
+"""Register-level models of the paper's hardware (Figures 4, 5 and 6)."""
+
+from repro.hardware.datapath import BudgetedAdder, LatchFile, OrderQueue
+from repro.hardware.oos_engine import EngineReport, Figure6Engine
+from repro.hardware.register_file import (
+    FifoVectorRegister,
+    RandomAccessVectorRegister,
+    VectorRegisterFile,
+)
+from repro.hardware.sequencer import (
+    Figure5AddressGenerator,
+    GeneratedRequest,
+    natural_order_stream,
+    ordered_generator_stream,
+)
+
+__all__ = [
+    "BudgetedAdder",
+    "EngineReport",
+    "FifoVectorRegister",
+    "Figure5AddressGenerator",
+    "Figure6Engine",
+    "GeneratedRequest",
+    "LatchFile",
+    "OrderQueue",
+    "RandomAccessVectorRegister",
+    "VectorRegisterFile",
+    "natural_order_stream",
+    "ordered_generator_stream",
+]

@@ -1,0 +1,51 @@
+"""Address-mapping schemes: the module-number component ``F`` of Section 2.
+
+The package provides every scheme the paper discusses or compares against:
+
+* conventional and field interleaving (:mod:`repro.mappings.interleaved`),
+* row-rotation skewing (:mod:`repro.mappings.skewed`),
+* the matched XOR linear transformation of Eq. (1)
+  (:mod:`repro.mappings.linear`),
+* the unmatched two-level section mapping of Eq. (2)
+  (:mod:`repro.mappings.section`),
+* the general GF(2) matrix class with a pseudo-random member
+  (:mod:`repro.mappings.matrix`),
+* per-stride dynamic scheme selection (:mod:`repro.mappings.dynamic`).
+"""
+
+from repro.mappings.base import (
+    DEFAULT_ADDRESS_BITS,
+    AddressMapping,
+    bit_field,
+    empirical_period,
+    is_power_of_two,
+)
+from repro.mappings.dynamic import DynamicSchemeSelector
+from repro.mappings.interleaved import FieldInterleaved, LowOrderInterleaved
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.matrix import (
+    PseudoRandomMapping,
+    XorMatrixMapping,
+    gf2_rank,
+    parity,
+)
+from repro.mappings.section import SectionXorMapping
+from repro.mappings.skewed import SkewedMapping
+
+__all__ = [
+    "DEFAULT_ADDRESS_BITS",
+    "AddressMapping",
+    "DynamicSchemeSelector",
+    "FieldInterleaved",
+    "LowOrderInterleaved",
+    "MatchedXorMapping",
+    "PseudoRandomMapping",
+    "SectionXorMapping",
+    "SkewedMapping",
+    "XorMatrixMapping",
+    "bit_field",
+    "empirical_period",
+    "gf2_rank",
+    "is_power_of_two",
+    "parity",
+]

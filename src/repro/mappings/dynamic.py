@@ -1,0 +1,69 @@
+"""Per-stride dynamic scheme selection (Harper & Linebarger 1991 baseline).
+
+The dynamic storage schemes cited in the paper's introduction choose the
+address transformation *per array* when the dominant access stride is
+known: an array accessed with stride family ``x`` is stored under a
+mapping whose single ordered-access conflict-free family is ``x``.  This
+gives conflict-free ordered access to that one stride but to nothing else,
+which is exactly the contrast the paper draws — its static scheme covers a
+whole *window* of families with one mapping.
+
+:class:`DynamicSchemeSelector` packages that baseline for the comparison
+benches: :meth:`mapping_for_stride` returns the ideal per-stride mapping
+(a :class:`~repro.mappings.interleaved.FieldInterleaved` with the field at
+the stride's family position), and :meth:`cross_penalty_sequence` shows
+what happens when a vector of a *different* family is accessed through it.
+"""
+
+from __future__ import annotations
+
+from repro.core.families import family_of
+from repro.errors import ConfigurationError
+from repro.mappings.base import DEFAULT_ADDRESS_BITS, AddressMapping
+from repro.mappings.interleaved import FieldInterleaved
+
+
+class DynamicSchemeSelector:
+    """Chooses an ordered-access-optimal mapping for each stride.
+
+    Parameters
+    ----------
+    module_bits:
+        ``m`` of the target memory.
+    address_bits:
+        Address-space width handed to the generated mappings.
+    """
+
+    def __init__(self, module_bits: int, address_bits: int = DEFAULT_ADDRESS_BITS):
+        if module_bits < 0:
+            raise ConfigurationError(f"module_bits must be >= 0, got {module_bits}")
+        self.module_bits = module_bits
+        self.address_bits = address_bits
+
+    def mapping_for_stride(self, stride: int) -> AddressMapping:
+        """The per-stride ideal mapping: module field at bit ``x``.
+
+        A stride ``sigma * 2**x`` steps the field ``a[x+m-1..x]`` by the
+        odd number ``sigma`` per element, so ordered access under this
+        mapping visits all ``M`` modules cyclically — conflict-free for
+        the chosen stride (and only for its family).
+        """
+        x = family_of(stride)
+        if x + self.module_bits > self.address_bits:
+            raise ConfigurationError(
+                f"stride family {x} pushes the module field beyond the "
+                f"{self.address_bits}-bit address space"
+            )
+        return FieldInterleaved(self.module_bits, x, self.address_bits)
+
+    def cross_penalty_sequence(
+        self, stored_for: int, accessed_with: int, start: int, length: int
+    ) -> list[int]:
+        """Module sequence when an array stored for one stride is read
+        with another — the failure mode of dynamic schemes.
+
+        Returns the canonical temporal distribution of the access, which
+        the benches feed to the simulator to quantify the penalty.
+        """
+        mapping = self.mapping_for_stride(stored_for)
+        return mapping.module_sequence(start, accessed_with, length)

@@ -1,0 +1,51 @@
+"""Cycle-accurate multi-module memory subsystem (the Figure 2 machine)."""
+
+from repro.memory.arbiter import FifoArbiter, ResultArbiter, RoundRobinArbiter
+from repro.memory.config import MemoryConfig
+from repro.memory.events import Event, EventKind, EventLog
+from repro.memory.metrics import (
+    PopulationSummary,
+    access_efficiency,
+    cycles_per_element,
+    module_load_balance,
+    streaming_efficiency,
+    summarise_population,
+)
+from repro.memory.module import InFlightRequest, MemoryModule
+from repro.memory.multiport import MultiPortMemorySystem, PortAssignment
+from repro.memory.multistream import (
+    MultiStreamMemorySystem,
+    MultiStreamResult,
+    StreamResult,
+)
+from repro.memory.storage import MemoryStore
+from repro.memory.system import AccessResult, MemorySystem
+from repro.memory.trace import describe_result, render_timeline
+
+__all__ = [
+    "AccessResult",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FifoArbiter",
+    "InFlightRequest",
+    "MemoryConfig",
+    "MemoryModule",
+    "MemoryStore",
+    "MemorySystem",
+    "MultiPortMemorySystem",
+    "MultiStreamMemorySystem",
+    "MultiStreamResult",
+    "StreamResult",
+    "PopulationSummary",
+    "PortAssignment",
+    "ResultArbiter",
+    "RoundRobinArbiter",
+    "access_efficiency",
+    "cycles_per_element",
+    "describe_result",
+    "module_load_balance",
+    "render_timeline",
+    "streaming_efficiency",
+    "summarise_population",
+]

@@ -1,0 +1,62 @@
+"""Result-bus arbitration policies.
+
+The Figure 2 machine returns results to the processor over a single bus,
+one element per cycle.  When several modules hold ready results the
+arbiter picks one; the policy matters only for non-conflict-free streams
+(a conflict-free stream produces at most one ready result per cycle).
+
+Two policies are provided:
+
+* :class:`FifoArbiter` — oldest result first (by ready cycle, ties broken
+  by module index); matches the paper's implicit assumption that elements
+  come back as soon as possible;
+* :class:`RoundRobinArbiter` — rotating priority, a common hardware
+  choice; used in the robustness tests to show latency results do not
+  depend on the tie-break for conflict-free streams.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.memory.module import MemoryModule
+
+
+class ResultArbiter(ABC):
+    """Chooses which module drives the result bus this cycle."""
+
+    @abstractmethod
+    def grant(self, modules: Sequence[MemoryModule], cycle: int) -> int | None:
+        """Return the index of the module granted the bus, or None."""
+
+
+class FifoArbiter(ResultArbiter):
+    """Grant the oldest ready result (ready cycle, then module index)."""
+
+    def grant(self, modules: Sequence[MemoryModule], cycle: int) -> int | None:
+        best: tuple[int, int] | None = None
+        for module in modules:
+            head = module.peek_deliverable(cycle)
+            if head is None:
+                continue
+            key = (head[0], module.index)
+            if best is None or key < best:
+                best = key
+        return best[1] if best is not None else None
+
+
+class RoundRobinArbiter(ResultArbiter):
+    """Rotating-priority grant starting after the last winner."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def grant(self, modules: Sequence[MemoryModule], cycle: int) -> int | None:
+        count = len(modules)
+        for offset in range(1, count + 1):
+            index = (self._last + offset) % count
+            if modules[index].peek_deliverable(cycle) is not None:
+                self._last = index
+                return index
+        return None

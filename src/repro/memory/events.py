@@ -1,0 +1,158 @@
+"""Structured event logs derived from simulation results.
+
+The simulator's per-request records hold five timestamps each; this
+module flattens them into a queryable event stream (issue / arrive /
+start / finish / deliver), which the examples use for narrative output
+and which makes regression-debugging a non-conflict-free ordering
+tractable ("what else was in module 3 at cycle 41?").
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.memory.system import AccessResult
+
+
+class EventKind(Enum):
+    """Lifecycle stages of a memory request, in lifecycle order."""
+
+    ISSUE = "issue"
+    ARRIVE = "arrive"
+    START = "start"
+    FINISH = "finish"
+    DELIVER = "deliver"
+
+    @property
+    def rank(self) -> int:
+        """Position within the request lifecycle (for sorting)."""
+        order = ["issue", "arrive", "start", "finish", "deliver"]
+        return order.index(self.value)
+
+    def __lt__(self, other: "EventKind") -> bool:
+        if not isinstance(other, EventKind):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One timestamped lifecycle event of one request."""
+
+    cycle: int
+    module: int
+    element_index: int
+    kind: EventKind
+
+
+class EventLog:
+    """Sorted event stream over one simulation result."""
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = sorted(events)
+
+    @classmethod
+    def from_result(cls, result: AccessResult) -> "EventLog":
+        events: list[Event] = []
+        for request in result.requests:
+            stamps = [
+                (request.issue_cycle, EventKind.ISSUE),
+                (request.arrival_cycle, EventKind.ARRIVE),
+                (request.start_cycle, EventKind.START),
+                (request.finish_cycle, EventKind.FINISH),
+                (request.delivery_cycle, EventKind.DELIVER),
+            ]
+            for cycle, kind in stamps:
+                if cycle is None:
+                    raise SimulationError(
+                        f"request for element {request.element_index} has an "
+                        f"incomplete {kind.value} timestamp"
+                    )
+                events.append(
+                    Event(cycle, request.module, request.element_index, kind)
+                )
+        return cls(events)
+
+    def at_cycle(self, cycle: int) -> list[Event]:
+        """All events happening at one cycle."""
+        return [event for event in self.events if event.cycle == cycle]
+
+    def for_module(self, module: int) -> list[Event]:
+        """All events touching one module, in time order."""
+        return [event for event in self.events if event.module == module]
+
+    def for_element(self, element_index: int) -> list[Event]:
+        """The five lifecycle events of one element."""
+        return [
+            event
+            for event in self.events
+            if event.element_index == element_index
+        ]
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    def queue_depth_at(self, module: int, cycle: int) -> int:
+        """Requests that have arrived at ``module`` but not yet started
+        service, at the end of ``cycle``."""
+        arrived = sum(
+            1
+            for event in self.events
+            if event.module == module
+            and event.kind == EventKind.ARRIVE
+            and event.cycle <= cycle
+        )
+        started = sum(
+            1
+            for event in self.events
+            if event.module == module
+            and event.kind == EventKind.START
+            and event.cycle <= cycle
+        )
+        return arrived - started
+
+    def peak_queue_depth(self, module: int) -> int:
+        """Maximum end-of-cycle waiting-queue depth reached at ``module``.
+
+        A request that arrives and starts service in the same cycle never
+        waits, so the depth is evaluated after all of a cycle's events:
+        a conflict-free stream peaks at 0.
+        """
+        depth = 0
+        peak = 0
+        current_cycle: int | None = None
+        for event in self.for_module(module):
+            if event.cycle != current_cycle:
+                peak = max(peak, depth)
+                current_cycle = event.cycle
+            if event.kind == EventKind.ARRIVE:
+                depth += 1
+            elif event.kind == EventKind.START:
+                depth -= 1
+        return max(peak, depth)
+
+    def delivery_span(self) -> tuple[int, int]:
+        """(first, last) delivery cycles."""
+        deliveries = self.of_kind(EventKind.DELIVER)
+        if not deliveries:
+            raise SimulationError("no deliveries in the event log")
+        cycles = [event.cycle for event in deliveries]
+        return min(cycles), max(cycles)
+
+    def to_csv(self) -> str:
+        """The log as CSV text (cycle, kind, module, element)."""
+        buffer = io.StringIO()
+        buffer.write("cycle,kind,module,element\n")
+        for event in self.events:
+            buffer.write(
+                f"{event.cycle},{event.kind.value},{event.module},"
+                f"{event.element_index}\n"
+            )
+        return buffer.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,96 @@
+"""Derived metrics over simulation results.
+
+Turns :class:`~repro.memory.system.AccessResult` records into the
+quantities the paper's evaluation section reports: efficiency (elements
+per cycle relative to the one-per-cycle ideal), steady-state cycles per
+element, and aggregates over stride populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.memory.system import AccessResult
+
+
+def access_efficiency(result: AccessResult, service_ratio: int) -> float:
+    """``(T + L + 1) / latency`` — 1.0 exactly when conflict-free.
+
+    Ratio of the minimum possible latency to the observed latency for a
+    single vector access (includes the unavoidable start-up).
+    """
+    return (service_ratio + result.element_count + 1) / result.latency
+
+
+def streaming_efficiency(result: AccessResult, service_ratio: int) -> float:
+    """``L / (latency - T - 1)`` — the issue-throughput view.
+
+    Removes the fixed start-up so that long-vector results converge to
+    the paper's "one element per cycle" steady-state measure (Section
+    5-B compares average cycles per element).
+    """
+    issue_span = result.latency - service_ratio - 1
+    return result.element_count / issue_span if issue_span > 0 else 0.0
+
+
+def cycles_per_element(result: AccessResult, service_ratio: int) -> float:
+    """Average issue-slot cost per element, start-up excluded."""
+    issue_span = result.latency - service_ratio - 1
+    return issue_span / result.element_count
+
+
+@dataclass(frozen=True)
+class PopulationSummary:
+    """Aggregate efficiency over a population of vector accesses.
+
+    ``weights`` follow the paper's Section 5-B convention: when averaging
+    over "a uniform distribution of strides" each access counts equally
+    and the efficiency is the harmonic-style ratio of total elements to
+    total issue cycles.
+    """
+
+    accesses: int
+    total_elements: int
+    total_issue_cycles: int
+    conflict_free_accesses: int
+
+    @property
+    def efficiency(self) -> float:
+        """Elements delivered per issue cycle (1.0 = ideal)."""
+        if self.total_issue_cycles == 0:
+            return 0.0
+        return self.total_elements / self.total_issue_cycles
+
+    @property
+    def conflict_free_fraction(self) -> float:
+        return self.conflict_free_accesses / self.accesses if self.accesses else 0.0
+
+
+def summarise_population(
+    results: Iterable[AccessResult], service_ratio: int
+) -> PopulationSummary:
+    """Aggregate a batch of accesses into a :class:`PopulationSummary`."""
+    accesses = 0
+    elements = 0
+    issue_cycles = 0
+    conflict_free = 0
+    for result in results:
+        accesses += 1
+        elements += result.element_count
+        issue_cycles += result.latency - service_ratio - 1
+        if result.conflict_free:
+            conflict_free += 1
+    return PopulationSummary(accesses, elements, issue_cycles, conflict_free)
+
+
+def module_load_balance(result: AccessResult) -> float:
+    """Max/mean busy-cycle ratio across modules (1.0 = perfectly even).
+
+    A diagnostic for spatial distributions: a T-matched vector on an
+    M-module memory keeps the ratio at ``M * SD_max / L`` which the
+    theorems bound by ``M / T``.
+    """
+    busy = [cycles for cycles in result.module_busy_cycles]
+    mean = sum(busy) / len(busy)
+    return max(busy) / mean if mean > 0 else 0.0

@@ -1,0 +1,153 @@
+"""A single memory module: input queue, service unit, output queue.
+
+The module is a passive state holder; :mod:`repro.memory.system` drives
+the cycle loop and calls the transition methods in a fixed order so the
+timing contract of the package docstring holds exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class InFlightRequest:
+    """One memory request with its full timing record.
+
+    Cycle fields are filled in as the request progresses; ``None`` means
+    the event has not happened yet.
+    """
+
+    element_index: int
+    address: int
+    module: int
+    is_store: bool = False
+    issue_cycle: int | None = None
+    arrival_cycle: int | None = None
+    start_cycle: int | None = None
+    finish_cycle: int | None = None
+    delivery_cycle: int | None = None
+
+    @property
+    def waited(self) -> bool:
+        """True when the request found its module busy (a conflict)."""
+        if self.arrival_cycle is None or self.start_cycle is None:
+            raise SimulationError("request timing incomplete")
+        return self.start_cycle != self.arrival_cycle
+
+    @property
+    def latency(self) -> int:
+        """Cycles from issue to delivery, inclusive."""
+        if self.issue_cycle is None or self.delivery_cycle is None:
+            raise SimulationError("request timing incomplete")
+        return self.delivery_cycle - self.issue_cycle + 1
+
+
+class MemoryModule:
+    """State machine for one module.
+
+    Timing (driven by the system):
+
+    * a request issued at cycle ``c`` arrives at cycle ``c + 1`` (address
+      bus) and sits in the input queue;
+    * when the module is idle at the start of a cycle and the head request
+      has arrived, service begins; it lasts ``T`` cycles, ending at
+      ``start + T - 1``;
+    * at the end of the finishing cycle the result moves to the output
+      queue (if full, the module stays occupied — head-of-line blocking);
+    * the result becomes eligible for the result bus on the next cycle.
+    """
+
+    def __init__(self, index: int, service_time: int, input_capacity: int,
+                 output_capacity: int):
+        self.index = index
+        self.service_time = service_time
+        self.input_capacity = input_capacity
+        self.output_capacity = output_capacity
+        self.input_queue: deque[InFlightRequest] = deque()
+        self.in_service: InFlightRequest | None = None
+        self.blocked_result: InFlightRequest | None = None
+        self.output_queue: deque[tuple[int, InFlightRequest]] = deque()
+        self.busy_cycles = 0
+
+    def can_accept(self) -> bool:
+        """Room for one more request in the input queue?"""
+        return len(self.input_queue) < self.input_capacity
+
+    def accept(self, request: InFlightRequest) -> None:
+        """Enqueue a request (called by the system at issue time)."""
+        if not self.can_accept():
+            raise SimulationError(
+                f"module {self.index}: input queue overflow (q="
+                f"{self.input_capacity})"
+            )
+        self.input_queue.append(request)
+
+    def try_start(self, cycle: int) -> None:
+        """Begin service if idle and the head request has arrived."""
+        if self.in_service is not None or self.blocked_result is not None:
+            return
+        if not self.input_queue:
+            return
+        head = self.input_queue[0]
+        if head.arrival_cycle is None or head.arrival_cycle > cycle:
+            return
+        self.input_queue.popleft()
+        head.start_cycle = cycle
+        head.finish_cycle = cycle + self.service_time - 1
+        self.in_service = head
+
+    def try_finish(self, cycle: int) -> None:
+        """Move a finishing request to the output queue at end of cycle.
+
+        If the output queue is full, the result parks in
+        ``blocked_result`` and the module cannot start a new service until
+        it drains (the paper's q' back-pressure).
+        """
+        if self.blocked_result is not None:
+            if len(self.output_queue) < self.output_capacity:
+                ready = cycle + 1
+                self.output_queue.append((ready, self.blocked_result))
+                self.blocked_result = None
+            return
+        request = self.in_service
+        if request is None or request.finish_cycle != cycle:
+            return
+        self.in_service = None
+        if len(self.output_queue) < self.output_capacity:
+            self.output_queue.append((cycle + 1, request))
+        else:
+            self.blocked_result = request
+
+    def peek_deliverable(self, cycle: int) -> tuple[int, InFlightRequest] | None:
+        """Head of the output queue if eligible for the result bus."""
+        if not self.output_queue:
+            return None
+        ready, request = self.output_queue[0]
+        if ready > cycle:
+            return None
+        return ready, request
+
+    def pop_deliverable(self) -> InFlightRequest:
+        """Remove and return the head result (bus grant)."""
+        if not self.output_queue:
+            raise SimulationError(f"module {self.index}: nothing to deliver")
+        return self.output_queue.popleft()[1]
+
+    def tick_stats(self) -> None:
+        """Accumulate utilisation statistics (called once per cycle)."""
+        if self.in_service is not None:
+            self.busy_cycles += 1
+
+    @property
+    def idle(self) -> bool:
+        """No request anywhere in the module."""
+        return (
+            self.in_service is None
+            and self.blocked_result is None
+            and not self.input_queue
+            and not self.output_queue
+        )

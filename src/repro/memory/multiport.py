@@ -1,0 +1,174 @@
+"""Multi-port memories: several address/result buses (Section 6 outlook).
+
+Where :mod:`repro.memory.multistream` shares *one* address bus between
+streams, this module widens the machine: ``ports`` requests can issue
+per cycle (one per port) and ``ports`` results can return per cycle.
+This models the paper's "single processor with several memory ports"
+future-work case.
+
+With ``ports = k`` and the same ``T``-cycle modules, the memory can only
+sustain ``k`` elements per cycle if ``M >= k * T`` modules exist and the
+combined request pattern keeps every window of ``T`` cycles within
+module capacity.  The interesting (and measured) effect: two
+conflict-free streams on separate ports still collide in the *modules*
+unless their address patterns are disjoint in module space — e.g. two
+vectors of the same stride family whose base addresses differ in the low
+bits collide constantly, while streams of family ``x = s`` offset by one
+period interleave perfectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.arbiter import FifoArbiter
+from repro.memory.config import MemoryConfig
+from repro.memory.module import InFlightRequest, MemoryModule
+from repro.memory.multistream import MultiStreamResult, StreamResult
+
+
+@dataclass(frozen=True)
+class PortAssignment:
+    """Static binding of streams to ports (stream i -> port i % ports)."""
+
+    ports: int
+    streams: int
+
+    def port_of(self, stream_index: int) -> int:
+        return stream_index % self.ports
+
+
+class MultiPortMemorySystem:
+    """The Figure 2 machine with ``ports`` address and result buses.
+
+    Each port carries at most one request and one result per cycle.
+    Streams are statically assigned to ports round-robin; streams on one
+    port take turns (round-robin) like in the single-bus system.
+    """
+
+    def __init__(self, config: MemoryConfig, ports: int):
+        if ports < 1:
+            raise ConfigurationError(f"ports must be >= 1, got {ports}")
+        if config.module_count < ports:
+            raise ConfigurationError(
+                f"{ports} ports cannot be fed by {config.module_count} modules"
+            )
+        self.config = config
+        self.ports = ports
+
+    def run_streams(
+        self, streams: Sequence[Sequence[tuple[int, int]]]
+    ) -> MultiStreamResult:
+        """Simulate all streams; stream ``i`` issues on port ``i % ports``."""
+        if not streams or any(not stream for stream in streams):
+            raise SimulationError("need at least one non-empty stream")
+        mapping = self.config.mapping
+        assignment = PortAssignment(self.ports, len(streams))
+        pending: list[list[InFlightRequest]] = [
+            [
+                InFlightRequest(
+                    element_index=element,
+                    address=mapping.reduce(address),
+                    module=mapping.module_of(mapping.reduce(address)),
+                )
+                for element, address in stream
+            ]
+            for stream in streams
+        ]
+
+        modules = [
+            MemoryModule(
+                index,
+                self.config.service_ratio,
+                self.config.input_capacity,
+                self.config.output_capacity,
+            )
+            for index in range(self.config.module_count)
+        ]
+
+        cursors = [0] * len(streams)
+        stalls = [0] * len(streams)
+        first_issue = [0] * len(streams)
+        last_delivery = [0] * len(streams)
+        owner_of: dict[int, int] = {}
+        port_rotation = [0] * self.ports
+        delivered = 0
+        total = sum(len(stream) for stream in pending)
+        bus_busy = 0
+        cycle = 0
+        guard = (total + 2) * (self.config.service_ratio + 2) + 64
+        arbiters = [FifoArbiter() for _ in range(self.ports)]
+
+        while delivered < total:
+            cycle += 1
+            if cycle > guard:
+                raise SimulationError(
+                    f"multi-port simulation exceeded {guard} cycles"
+                )
+
+            # 1. Address buses: one request per port per cycle.
+            for port in range(self.ports):
+                members = [
+                    index
+                    for index in range(len(streams))
+                    if assignment.port_of(index) == port
+                    and cursors[index] < len(pending[index])
+                ]
+                scan = sorted(
+                    members,
+                    key=lambda i: (i - port_rotation[port]) % max(len(streams), 1),
+                )
+                for stream_index in scan:
+                    request = pending[stream_index][cursors[stream_index]]
+                    target = modules[request.module]
+                    if target.can_accept():
+                        request.issue_cycle = cycle
+                        request.arrival_cycle = cycle + 1
+                        target.accept(request)
+                        owner_of[id(request)] = stream_index
+                        if first_issue[stream_index] == 0:
+                            first_issue[stream_index] = cycle
+                        cursors[stream_index] += 1
+                        port_rotation[port] = stream_index + 1
+                        bus_busy += 1
+                        break
+                    stalls[stream_index] += 1
+
+            # 2. Result buses: up to ``ports`` deliveries per cycle.
+            for arbiter in arbiters:
+                granted = arbiter.grant(modules, cycle)
+                if granted is None:
+                    break
+                request = modules[granted].pop_deliverable()
+                request.delivery_cycle = cycle
+                stream_index = owner_of.pop(id(request))
+                last_delivery[stream_index] = max(
+                    last_delivery[stream_index], cycle
+                )
+                delivered += 1
+
+            # 3. Modules.
+            for module in modules:
+                module.try_start(cycle)
+                module.tick_stats()
+            for module in modules:
+                module.try_finish(cycle)
+
+        stream_results = tuple(
+            StreamResult(
+                stream_index=index,
+                first_issue_cycle=first_issue[index],
+                last_delivery_cycle=last_delivery[index],
+                issue_stall_cycles=stalls[index],
+                wait_count=sum(1 for r in requests if r.waited),
+                element_count=len(requests),
+            )
+            for index, requests in enumerate(pending)
+        )
+        return MultiStreamResult(
+            streams=stream_results,
+            total_cycles=cycle,
+            bus_busy_cycles=bus_busy,
+        )

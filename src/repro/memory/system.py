@@ -1,0 +1,190 @@
+"""Cycle-accurate simulator of the Figure 2 memory subsystem.
+
+Timing contract (all cycles 1-based):
+
+* the processor issues at most one request per cycle; it stalls when the
+  target module's input queue is full;
+* address bus delay 1 cycle: a request issued at ``c`` arrives at its
+  module at ``c + 1``;
+* a module starts the head request when idle; service takes ``T`` cycles
+  (busy ``start .. start + T - 1``) and needs the output queue to drain;
+* result bus: one result per cycle, arbitrated, delivered the cycle it is
+  granted; a result finishing service at the end of cycle ``f`` is first
+  deliverable at ``f + 1``.
+
+Hence a conflict-free access of ``L`` elements issued at cycles
+``1 .. L`` delivers its last element at cycle ``L + T + 1`` — the paper's
+minimum latency ``T + L + 1``.  The simulator's ``conflict_free``
+observation (no request ever waited) is cross-checked against the static
+predicate of :mod:`repro.core.distributions` in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.planner import AccessPlan
+from repro.errors import SimulationError
+from repro.memory.arbiter import FifoArbiter, ResultArbiter
+from repro.memory.config import MemoryConfig
+from repro.memory.module import InFlightRequest, MemoryModule
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of simulating one request stream.
+
+    Attributes
+    ----------
+    latency:
+        Cycles from the first issue attempt to the last delivery.
+    issue_stall_cycles:
+        Cycles the processor spent unable to issue (input queue full).
+    conflict_free:
+        True when no request ever found its module busy *and* the result
+        bus never held a result back — the dynamic counterpart of the
+        paper's definition.
+    requests:
+        Per-request timing records, in issue order.
+    module_busy_cycles:
+        Utilisation per module.
+    """
+
+    latency: int
+    issue_stall_cycles: int
+    conflict_free: bool
+    requests: tuple[InFlightRequest, ...]
+    module_busy_cycles: tuple[int, ...]
+
+    @property
+    def element_count(self) -> int:
+        return len(self.requests)
+
+    @property
+    def cycles_per_element(self) -> float:
+        """Average issue-to-drain cost per element."""
+        return self.latency / self.element_count
+
+    @property
+    def wait_count(self) -> int:
+        """Requests that queued behind a busy module."""
+        return sum(1 for request in self.requests if request.waited)
+
+    def delivery_order(self) -> list[int]:
+        """Element indices in the order their data returned."""
+        ordered = sorted(self.requests, key=lambda r: r.delivery_cycle)
+        return [request.element_index for request in ordered]
+
+    def excess_latency(self, service_ratio: int) -> int:
+        """Latency above the conflict-free minimum ``T + L + 1``."""
+        return self.latency - (service_ratio + self.element_count + 1)
+
+
+class MemorySystem:
+    """The multi-module memory of Figure 2, driven cycle by cycle."""
+
+    def __init__(self, config: MemoryConfig, arbiter: ResultArbiter | None = None):
+        self.config = config
+        self.arbiter = arbiter if arbiter is not None else FifoArbiter()
+
+    def run_plan(self, plan: AccessPlan) -> AccessResult:
+        """Simulate an :class:`~repro.core.planner.AccessPlan` (or any
+        object with a ``request_stream()`` method)."""
+        return self.run_stream(plan.request_stream())
+
+    def run_stream(
+        self, stream: Sequence[tuple[int, int]], stores: Iterable[int] = ()
+    ) -> AccessResult:
+        """Simulate a stream of ``(element_index, address)`` requests.
+
+        ``stores`` optionally lists stream positions that are store
+        operations; stores follow the same request path (the paper's
+        module timing applies to loads and stores alike) and their
+        "result" models the store acknowledgement.
+        """
+        if not stream:
+            raise SimulationError("cannot simulate an empty request stream")
+        store_positions = frozenset(stores)
+        mapping = self.config.mapping
+        requests = [
+            InFlightRequest(
+                element_index=element,
+                address=mapping.reduce(address),
+                module=mapping.module_of(mapping.reduce(address)),
+                is_store=position in store_positions,
+            )
+            for position, (element, address) in enumerate(stream)
+        ]
+
+        modules = [
+            MemoryModule(
+                index,
+                self.config.service_ratio,
+                self.config.input_capacity,
+                self.config.output_capacity,
+            )
+            for index in range(self.config.module_count)
+        ]
+
+        next_to_issue = 0
+        delivered = 0
+        issue_stalls = 0
+        bus_held_result = False
+        cycle = 0
+        guard = self._cycle_guard(len(requests))
+
+        while delivered < len(requests):
+            cycle += 1
+            if cycle > guard:
+                raise SimulationError(
+                    f"simulation exceeded {guard} cycles for "
+                    f"{len(requests)} requests — livelock?"
+                )
+
+            # 1. Processor issue (one request per cycle, stall on full).
+            if next_to_issue < len(requests):
+                request = requests[next_to_issue]
+                target = modules[request.module]
+                if target.can_accept():
+                    request.issue_cycle = cycle
+                    request.arrival_cycle = cycle + 1
+                    target.accept(request)
+                    next_to_issue += 1
+                else:
+                    issue_stalls += 1
+
+            # 2. Result bus: one delivery per cycle.
+            ready = [
+                module
+                for module in modules
+                if module.peek_deliverable(cycle) is not None
+            ]
+            if len(ready) > 1:
+                bus_held_result = True
+            granted = self.arbiter.grant(modules, cycle)
+            if granted is not None:
+                delivered_request = modules[granted].pop_deliverable()
+                delivered_request.delivery_cycle = cycle
+                delivered += 1
+
+            # 3. Module service: start new work, then retire finishing work.
+            for module in modules:
+                module.try_start(cycle)
+                module.tick_stats()
+            for module in modules:
+                module.try_finish(cycle)
+
+        no_waits = all(not request.waited for request in requests)
+        return AccessResult(
+            latency=cycle,
+            issue_stall_cycles=issue_stalls,
+            conflict_free=no_waits and not bus_held_result and issue_stalls == 0,
+            requests=tuple(requests),
+            module_busy_cycles=tuple(module.busy_cycles for module in modules),
+        )
+
+    def _cycle_guard(self, request_count: int) -> int:
+        """Upper bound on cycles: everything serialised through one module
+        plus drain, with generous margin."""
+        return (request_count + 2) * (self.config.service_ratio + 2) + 64

@@ -1,0 +1,67 @@
+"""Decoupled access/execute vector processor (Figure 1) and its ISA."""
+
+from repro.processor.chaining import (
+    chained_pair_latency,
+    chaining_speedup,
+    conflict_free_load_latency,
+    decoupled_pair_latency,
+)
+from repro.processor.decoupled import (
+    DecoupledVectorMachine,
+    InstructionTiming,
+    MachineResult,
+)
+from repro.processor.isa import (
+    Instruction,
+    VAdd,
+    VBinary,
+    VGather,
+    VLoad,
+    VMul,
+    VSAdd,
+    VScalarOp,
+    VScale,
+    VScatter,
+    VStore,
+    VSub,
+    VSum,
+)
+from repro.processor.program import Program, assemble, disassemble
+from repro.processor.stripmine import (
+    Strip,
+    daxpy_program,
+    elementwise_product_program,
+    full_strip_fraction,
+    strip_bounds,
+)
+
+__all__ = [
+    "DecoupledVectorMachine",
+    "Instruction",
+    "InstructionTiming",
+    "MachineResult",
+    "Program",
+    "Strip",
+    "VAdd",
+    "VBinary",
+    "VGather",
+    "VLoad",
+    "VMul",
+    "VSAdd",
+    "VScalarOp",
+    "VScale",
+    "VScatter",
+    "VStore",
+    "VSub",
+    "VSum",
+    "assemble",
+    "chained_pair_latency",
+    "chaining_speedup",
+    "conflict_free_load_latency",
+    "daxpy_program",
+    "decoupled_pair_latency",
+    "disassemble",
+    "elementwise_product_program",
+    "full_strip_fraction",
+    "strip_bounds",
+]

@@ -1,0 +1,483 @@
+"""The decoupled access/execute vector machine of Figure 1.
+
+Two independent units share a vector register file:
+
+* the **memory-access module** executes ``VLOAD``/``VSTORE`` through the
+  access planner, the Figure-6-style engine (abstractly, the plan's
+  request stream) and the cycle-accurate memory simulator;
+* the **execute unit** performs element-wise arithmetic, one element per
+  cycle after a short pipeline start-up.
+
+Default operation is fully decoupled: an arithmetic instruction waits
+until its operand registers are complete.  With ``chaining=True`` the
+Section 5-F mode is enabled: when an operand was produced by a
+*conflict-free* load, the execute unit consumes elements in the load's
+(deterministic) delivery order, overlapping almost the entire load.  For
+non-conflict-free loads the machine falls back to decoupled operation —
+precisely the paper's argument for why out-of-order conflict-free access
+re-enables chaining that buffered in-order access made impractical.
+
+Timing is accounted per instruction; data really moves (loads read the
+backing store, stores write it), so end-to-end numerical correctness is
+asserted alongside cycle counts in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gather import IndexedAccess, IndexedMode, plan_indexed
+from repro.core.planner import AccessPlanner, PlanMode
+from repro.core.vector import VectorAccess
+from repro.errors import ProgramError
+from repro.hardware.register_file import VectorRegisterFile
+from repro.memory.config import MemoryConfig
+from repro.memory.storage import MemoryStore
+from repro.memory.system import MemorySystem
+from repro.processor.isa import (
+    VBinary,
+    VGather,
+    VLoad,
+    VScalarOp,
+    VScatter,
+    VStore,
+    VSum,
+)
+from repro.processor.program import Program
+
+
+@dataclass(frozen=True)
+class InstructionTiming:
+    """Cycle accounting for one executed instruction."""
+
+    position: int
+    mnemonic: str
+    unit: str  # "memory" or "execute"
+    start_cycle: int
+    end_cycle: int
+    mode: str  # plan scheme for memory ops, chained/decoupled for execute
+    conflict_free: bool | None = None
+
+    @property
+    def duration(self) -> int:
+        return self.end_cycle - self.start_cycle + 1
+
+
+@dataclass(frozen=True)
+class MachineResult:
+    """Outcome of running a program."""
+
+    timings: tuple[InstructionTiming, ...]
+    total_cycles: int
+
+    def memory_timings(self) -> list[InstructionTiming]:
+        return [timing for timing in self.timings if timing.unit == "memory"]
+
+    def chained_count(self) -> int:
+        return sum(1 for timing in self.timings if timing.mode == "chained")
+
+    def conflict_free_loads(self) -> int:
+        return sum(
+            1
+            for timing in self.timings
+            if timing.unit == "memory" and timing.conflict_free
+        )
+
+
+@dataclass
+class _LoadRecord:
+    """Per-element delivery times of the latest definition of a register."""
+
+    conflict_free: bool
+    deliveries: list[tuple[int, int]]  # (delivery_cycle, element_index)
+
+
+class DecoupledVectorMachine:
+    """A complete machine: processor + register file + memory + store.
+
+    Parameters
+    ----------
+    config:
+        Memory geometry (mapping, T, buffers).
+    register_length:
+        ``L`` — the vector register length the paper's scheme is designed
+        around.
+    register_count:
+        Number of architectural vector registers.
+    execute_startup:
+        Pipeline depth of the execute unit (cycles before the first
+        result element).
+    chaining:
+        Enable the Section 5-F chained LOAD -> EXECUTE mode.
+    plan_mode:
+        Forwarded to the access planner (``"auto"`` by default; the
+        benches use ``"ordered"`` to model the baseline machine).
+    """
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        register_length: int,
+        register_count: int = 8,
+        execute_startup: int = 4,
+        chaining: bool = False,
+        plan_mode: PlanMode = "auto",
+        gather_mode: IndexedMode = "scheduled",
+    ):
+        if register_length < 1:
+            raise ProgramError(
+                f"register_length must be >= 1, got {register_length}"
+            )
+        if execute_startup < 1:
+            raise ProgramError(
+                f"execute_startup must be >= 1, got {execute_startup}"
+            )
+        self.config = config
+        self.register_length = register_length
+        self.register_count = register_count
+        self.execute_startup = execute_startup
+        self.chaining = chaining
+        self.plan_mode: PlanMode = plan_mode
+        self.gather_mode: IndexedMode = gather_mode
+        self.planner = AccessPlanner(config.mapping, config.t)
+        self.memory = MemorySystem(config)
+        self.store = MemoryStore(config.mapping)
+        self.registers = VectorRegisterFile(register_count, register_length)
+
+    def run(self, program: Program) -> MachineResult:
+        """Execute ``program`` to completion; returns cycle accounting.
+
+        The register file and backing store persist across calls, so a
+        caller can preload data with :attr:`store` and read results back
+        afterwards.
+        """
+        already_loaded = {
+            number
+            for number in range(self.register_count)
+            if self.registers.register(number).valid_count > 0
+        }
+        program.validate(self.register_count, predefined=already_loaded)
+        timings: list[InstructionTiming] = []
+        memory_free = 1
+        execute_free = 1
+        register_ready: dict[int, int] = {
+            number: 0 for number in already_loaded
+        }
+        load_records: dict[int, _LoadRecord] = {}
+
+        for position, instruction in enumerate(program):
+            if isinstance(instruction, VLoad):
+                timing = self._run_load(
+                    position, instruction, memory_free, register_ready, load_records
+                )
+                memory_free = self._memory_release(timing)
+                timings.append(timing)
+            elif isinstance(instruction, VStore):
+                timing = self._run_store(
+                    position, instruction, memory_free, register_ready
+                )
+                memory_free = self._memory_release(timing)
+                timings.append(timing)
+            elif isinstance(instruction, VGather):
+                timing = self._run_gather(
+                    position, instruction, memory_free, register_ready,
+                    load_records,
+                )
+                memory_free = self._memory_release(timing)
+                timings.append(timing)
+            elif isinstance(instruction, VScatter):
+                timing = self._run_scatter(
+                    position, instruction, memory_free, register_ready
+                )
+                memory_free = self._memory_release(timing)
+                timings.append(timing)
+            elif isinstance(instruction, (VBinary, VScalarOp, VSum)):
+                timing, execute_free = self._run_execute(
+                    position,
+                    instruction,
+                    execute_free,
+                    register_ready,
+                    load_records,
+                )
+                timings.append(timing)
+            else:  # pragma: no cover - defensive
+                raise ProgramError(f"unsupported instruction {instruction!r}")
+
+        total = max((timing.end_cycle for timing in timings), default=0)
+        return MachineResult(timings=tuple(timings), total_cycles=total)
+
+    # -- memory unit ----------------------------------------------------
+
+    def _vector_for(self, instruction) -> VectorAccess:
+        length = (
+            instruction.length
+            if instruction.length is not None
+            else self.register_length
+        )
+        if length > self.register_length:
+            raise ProgramError(
+                f"access length {length} exceeds the register length "
+                f"{self.register_length}"
+            )
+        return VectorAccess(instruction.base, instruction.stride, length)
+
+    def _run_load(
+        self,
+        position: int,
+        instruction: VLoad,
+        memory_free: int,
+        register_ready: dict[int, int],
+        load_records: dict[int, _LoadRecord],
+    ) -> InstructionTiming:
+        vector = self._vector_for(instruction)
+        plan = self.planner.plan(vector, mode=self.plan_mode)
+        result = self.memory.run_plan(plan)
+        start = memory_free
+        offset = start - 1
+
+        register = self.registers.register(instruction.dst)
+        register.clear()
+        deliveries: list[tuple[int, int]] = []
+        for request in sorted(result.requests, key=lambda r: r.delivery_cycle):
+            value = self.store.read(request.address)
+            register.write(request.element_index, value)
+            deliveries.append(
+                (request.delivery_cycle + offset, request.element_index)
+            )
+
+        end = start + result.latency - 1
+        register_ready[instruction.dst] = end
+        load_records[instruction.dst] = _LoadRecord(
+            conflict_free=result.conflict_free, deliveries=deliveries
+        )
+        return InstructionTiming(
+            position,
+            instruction.mnemonic,
+            "memory",
+            start,
+            end,
+            plan.scheme,
+            result.conflict_free,
+        )
+
+    def _run_store(
+        self,
+        position: int,
+        instruction: VStore,
+        memory_free: int,
+        register_ready: dict[int, int],
+    ) -> InstructionTiming:
+        vector = self._vector_for(instruction)
+        plan = self.planner.plan(vector, mode=self.plan_mode)
+        result = self.memory.run_stream(
+            plan.request_stream(), stores=range(vector.length)
+        )
+        register = self.registers.register(instruction.src)
+        for element_index, address in plan.request_stream():
+            self.store.write(address, register.read(element_index))
+
+        start = max(memory_free, register_ready[instruction.src] + 1)
+        end = start + result.latency - 1
+        return InstructionTiming(
+            position,
+            instruction.mnemonic,
+            "memory",
+            start,
+            end,
+            plan.scheme,
+            result.conflict_free,
+        )
+
+    def _indexed_access_for(self, instruction) -> IndexedAccess:
+        """Build the gather/scatter address set from the index register."""
+        length = (
+            instruction.length
+            if instruction.length is not None
+            else self.register_length
+        )
+        if length > self.register_length:
+            raise ProgramError(
+                f"access length {length} exceeds the register length "
+                f"{self.register_length}"
+            )
+        index_register = self.registers.register(instruction.index)
+        indices = [int(index_register.read(i)) for i in range(length)]
+        return IndexedAccess(instruction.base, indices)
+
+    def _run_gather(
+        self,
+        position: int,
+        instruction: VGather,
+        memory_free: int,
+        register_ready: dict[int, int],
+        load_records: dict[int, _LoadRecord],
+    ) -> InstructionTiming:
+        access = self._indexed_access_for(instruction)
+        plan = plan_indexed(
+            self.config.mapping, self.config.t, access, mode=self.gather_mode
+        )
+        result = self.memory.run_stream(plan.request_stream())
+        # The gather cannot start before its index register is complete.
+        start = max(memory_free, register_ready[instruction.index] + 1)
+        offset = start - 1
+
+        register = self.registers.register(instruction.dst)
+        register.clear()
+        deliveries: list[tuple[int, int]] = []
+        for request in sorted(result.requests, key=lambda r: r.delivery_cycle):
+            register.write(
+                request.element_index, self.store.read(request.address)
+            )
+            deliveries.append(
+                (request.delivery_cycle + offset, request.element_index)
+            )
+
+        end = start + result.latency - 1
+        register_ready[instruction.dst] = end
+        load_records[instruction.dst] = _LoadRecord(
+            conflict_free=result.conflict_free, deliveries=deliveries
+        )
+        return InstructionTiming(
+            position,
+            instruction.mnemonic,
+            "memory",
+            start,
+            end,
+            plan.scheme,
+            result.conflict_free,
+        )
+
+    def _run_scatter(
+        self,
+        position: int,
+        instruction: VScatter,
+        memory_free: int,
+        register_ready: dict[int, int],
+    ) -> InstructionTiming:
+        access = self._indexed_access_for(instruction)
+        plan = plan_indexed(
+            self.config.mapping, self.config.t, access, mode=self.gather_mode
+        )
+        result = self.memory.run_stream(
+            plan.request_stream(), stores=range(access.length)
+        )
+        source = self.registers.register(instruction.src)
+        for element, address in plan.request_stream():
+            self.store.write(address, source.read(element))
+
+        operands_ready = max(
+            register_ready[instruction.src], register_ready[instruction.index]
+        )
+        start = max(memory_free, operands_ready + 1)
+        end = start + result.latency - 1
+        return InstructionTiming(
+            position,
+            instruction.mnemonic,
+            "memory",
+            start,
+            end,
+            plan.scheme,
+            result.conflict_free,
+        )
+
+    def _memory_release(self, timing: InstructionTiming) -> int:
+        """The memory unit frees once the access fully drains.
+
+        A conservative simplification (one outstanding vector access);
+        the paper's latency analysis is likewise per-access.
+        """
+        return timing.end_cycle + 1
+
+    # -- execute unit ---------------------------------------------------
+
+    def _run_execute(
+        self,
+        position: int,
+        instruction,
+        execute_free: int,
+        register_ready: dict[int, int],
+        load_records: dict[int, _LoadRecord],
+    ) -> tuple[InstructionTiming, int]:
+        length = (
+            instruction.length
+            if instruction.length is not None
+            else self.register_length
+        )
+        reads = instruction.reads()
+        ready_times = {register: register_ready[register] for register in reads}
+
+        chain_register = self._chainable_operand(
+            reads, ready_times, load_records
+        )
+        if chain_register is not None:
+            other_ready = max(
+                (ready_times[r] for r in reads if r != chain_register),
+                default=0,
+            )
+            record = load_records[chain_register]
+            deliveries = sorted(record.deliveries)[:length]
+            start = max(
+                execute_free, other_ready + 1, deliveries[0][0] + 1
+            )
+            finish_feed = start
+            for slot, (delivery_cycle, _element) in enumerate(deliveries):
+                finish_feed = max(start + slot, delivery_cycle + 1)
+            end = finish_feed + self.execute_startup
+            mode = "chained"
+            next_free = finish_feed + 1
+        else:
+            operands_ready = max(ready_times.values(), default=0)
+            start = max(execute_free, operands_ready + 1)
+            end = start + self.execute_startup + length - 1
+            mode = "decoupled"
+            next_free = start + length
+
+        self._apply_values(instruction, length)
+        register_ready[instruction.writes()[0]] = end
+        load_records.pop(instruction.writes()[0], None)
+        return (
+            InstructionTiming(
+                position, instruction.mnemonic, "execute", start, end, mode
+            ),
+            next_free,
+        )
+
+    def _chainable_operand(
+        self,
+        reads: tuple[int, ...],
+        ready_times: dict[int, int],
+        load_records: dict[int, _LoadRecord],
+    ) -> int | None:
+        """Pick the operand to chain on: the latest-ready register whose
+        last definition was a conflict-free load (Section 5-F's
+        condition: the element arrival order is deterministic)."""
+        if not self.chaining or not reads:
+            return None
+        candidate = max(reads, key=lambda register: ready_times[register])
+        record = load_records.get(candidate)
+        if record is None or not record.conflict_free:
+            return None
+        return candidate
+
+    def _apply_values(self, instruction, length: int) -> None:
+        """Move the data: element-wise semantics independent of timing."""
+        destination = self.registers.register(instruction.writes()[0])
+        destination.clear()
+        if isinstance(instruction, VBinary):
+            left = self.registers.register(instruction.a)
+            right = self.registers.register(instruction.b)
+            for index in range(length):
+                destination.write(
+                    index, instruction.apply(left.read(index), right.read(index))
+                )
+        elif isinstance(instruction, VSum):
+            source = self.registers.register(instruction.src)
+            total = sum(source.read(index) for index in range(length))
+            for index in range(length):
+                destination.write(index, total)
+        elif isinstance(instruction, VScalarOp):
+            source = self.registers.register(instruction.src)
+            for index in range(length):
+                destination.write(index, instruction.apply(source.read(index)))
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unsupported execute instruction {instruction!r}")

@@ -1,0 +1,236 @@
+"""A small vector instruction set for the decoupled machine (Figure 1).
+
+The paper's machine splits into a memory-access module and an execute
+unit communicating through a vector register file.  This ISA is the
+minimum needed to express the paper's motivating workloads (strided
+loads/stores plus element-wise arithmetic), with enough structure for the
+machine to account cycles per instruction:
+
+=============  =======================================  ==============
+Instruction    Meaning                                  Unit
+=============  =======================================  ==============
+``VLOAD``      ``V[dst][i] = MEM[base + i*stride]``     memory access
+``VSTORE``     ``MEM[base + i*stride] = V[src][i]``     memory access
+``VADD``       ``V[dst] = V[a] + V[b]``                 execute
+``VSUB``       ``V[dst] = V[a] - V[b]``                 execute
+``VMUL``       ``V[dst] = V[a] * V[b]``                 execute
+``VSCALE``     ``V[dst] = scalar * V[src]``             execute
+``VSADD``      ``V[dst] = scalar + V[src]``             execute
+=============  =======================================  ==============
+
+All vector instructions operate on ``length`` elements (defaulting to the
+machine's register length; shorter lengths express strip-mined tails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class: every instruction reads/writes vector registers."""
+
+    def reads(self) -> tuple[int, ...]:
+        """Vector register numbers whose values this instruction uses."""
+        return ()
+
+    def writes(self) -> tuple[int, ...]:
+        """Vector register numbers this instruction defines."""
+        return ()
+
+    @property
+    def is_memory(self) -> bool:
+        """True for instructions executed by the memory-access module."""
+        return False
+
+    @property
+    def mnemonic(self) -> str:
+        return type(self).__name__.upper().removeprefix("V")
+
+
+@dataclass(frozen=True)
+class VLoad(Instruction):
+    """Load a constant-stride vector into register ``dst``."""
+
+    dst: int
+    base: int
+    stride: int
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.stride == 0:
+            raise ProgramError("VLOAD with stride 0 is not a vector access")
+        if self.length is not None and self.length < 1:
+            raise ProgramError(f"VLOAD length must be >= 1, got {self.length}")
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VStore(Instruction):
+    """Store register ``src`` to a constant-stride vector in memory."""
+
+    src: int
+    base: int
+    stride: int
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.stride == 0:
+            raise ProgramError("VSTORE with stride 0 is not a vector access")
+        if self.length is not None and self.length < 1:
+            raise ProgramError(f"VSTORE length must be >= 1, got {self.length}")
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VBinary(Instruction):
+    """Element-wise binary operation ``dst = a <op> b``."""
+
+    dst: int
+    a: int
+    b: int
+    length: int | None = None
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.a, self.b)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+    def apply(self, left: float, right: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VAdd(VBinary):
+    def apply(self, left: float, right: float) -> float:
+        return left + right
+
+
+@dataclass(frozen=True)
+class VSub(VBinary):
+    def apply(self, left: float, right: float) -> float:
+        return left - right
+
+
+@dataclass(frozen=True)
+class VMul(VBinary):
+    def apply(self, left: float, right: float) -> float:
+        return left * right
+
+
+@dataclass(frozen=True)
+class VScalarOp(Instruction):
+    """Element-wise op between a scalar and a vector register."""
+
+    dst: int
+    src: int
+    scalar: float
+    length: int | None = None
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+    def apply(self, value: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VScale(VScalarOp):
+    """``dst = scalar * src``."""
+
+    def apply(self, value: float) -> float:
+        return self.scalar * value
+
+
+@dataclass(frozen=True)
+class VSAdd(VScalarOp):
+    """``dst = scalar + src``."""
+
+    def apply(self, value: float) -> float:
+        return self.scalar + value
+
+
+@dataclass(frozen=True)
+class VGather(Instruction):
+    """Indexed load: ``V[dst][i] = MEM[base + int(V[index][i])]``.
+
+    The index vector lives in a register, as in classic vector ISAs; the
+    memory-access module plans the requests with the cooldown scheduler
+    (see :mod:`repro.core.gather`), which the paper's out-of-order
+    hardware supports for free — element indices already travel with the
+    requests and the register file is random access.
+    """
+
+    dst: int
+    base: int
+    index: int
+    length: int | None = None
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.index,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.dst,)
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VScatter(Instruction):
+    """Indexed store: ``MEM[base + int(V[index][i])] = V[src][i]``."""
+
+    src: int
+    base: int
+    index: int
+    length: int | None = None
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.src, self.index)
+
+    def writes(self) -> tuple[int, ...]:
+        return ()
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VSum(Instruction):
+    """Reduction: broadcast ``sum(V[src])`` into every element of dst.
+
+    Modelled as a linear accumulation (one element per cycle plus the
+    pipeline start-up), the organisation of the classic register-based
+    vector machines the paper targets.
+    """
+
+    dst: int
+    src: int
+    length: int | None = None
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.src,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.dst,)

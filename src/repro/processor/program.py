@@ -1,0 +1,287 @@
+"""Vector programs: validation, pretty-printing and a tiny assembler.
+
+A :class:`Program` is an ordered list of ISA instructions plus the
+register-count/length context it expects.  The assembler accepts the
+obvious textual form, one instruction per line::
+
+    vload  v1, base=100, stride=3
+    vload  v2, base=4096, stride=1
+    vscale v3, v1, scalar=2.5
+    vadd   v4, v3, v2
+    vstore v4, base=8192, stride=1
+
+Blank lines and ``#`` comments are ignored.  The assembler exists for the
+examples and tests — programs can equally be built from the dataclasses
+directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.processor.isa import (
+    Instruction,
+    VAdd,
+    VGather,
+    VLoad,
+    VMul,
+    VSAdd,
+    VScale,
+    VScatter,
+    VStore,
+    VSub,
+    VSum,
+)
+
+
+@dataclass
+class Program:
+    """A straight-line vector program."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> "Program":
+        self.instructions.append(instruction)
+        return self
+
+    def validate(
+        self, register_count: int, predefined: set[int] | None = None
+    ) -> None:
+        """Check register numbers and def-before-use.
+
+        ``predefined`` lists registers that already hold values (for
+        machines that run several programs against one register file).
+        Raises :class:`~repro.errors.ProgramError` with the offending
+        instruction index on the first violation.
+        """
+        defined: set[int] = set(predefined or ())
+        for position, instruction in enumerate(self.instructions):
+            for register in (*instruction.reads(), *instruction.writes()):
+                if not 0 <= register < register_count:
+                    raise ProgramError(
+                        f"instruction {position} ({instruction.mnemonic}): "
+                        f"register V{register} out of range "
+                        f"[0, {register_count})"
+                    )
+            for register in instruction.reads():
+                if register not in defined:
+                    raise ProgramError(
+                        f"instruction {position} ({instruction.mnemonic}): "
+                        f"register V{register} read before any definition"
+                    )
+            defined.update(instruction.writes())
+
+    def memory_instruction_count(self) -> int:
+        return sum(1 for i in self.instructions if i.is_memory)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+_REGISTER = re.compile(r"^v(\d+)$", re.IGNORECASE)
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    match = _REGISTER.match(token.strip())
+    if match is None:
+        raise ProgramError(
+            f"line {line_number}: expected a register like 'v1', got "
+            f"{token.strip()!r}"
+        )
+    return int(match.group(1))
+
+
+def _parse_keywords(tokens: list[str], line_number: int) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for token in tokens:
+        token = token.strip()
+        if "=" not in token:
+            raise ProgramError(
+                f"line {line_number}: expected key=value, got {token!r}"
+            )
+        key, _, raw = token.partition("=")
+        try:
+            values[key.strip()] = float(raw)
+        except ValueError:
+            raise ProgramError(
+                f"line {line_number}: bad numeric value {raw!r}"
+            ) from None
+    return values
+
+
+def assemble(text: str) -> Program:
+    """Assemble the textual form into a :class:`Program`."""
+    program = Program()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        operands = [part for part in rest.split(",") if part.strip()]
+        if mnemonic == "vload":
+            if len(operands) < 3:
+                raise ProgramError(f"line {line_number}: vload needs 3+ operands")
+            dst = _parse_register(operands[0], line_number)
+            keywords = _parse_keywords(operands[1:], line_number)
+            program.append(
+                VLoad(
+                    dst,
+                    int(keywords["base"]),
+                    int(keywords["stride"]),
+                    int(keywords["length"]) if "length" in keywords else None,
+                )
+            )
+        elif mnemonic == "vstore":
+            if len(operands) < 3:
+                raise ProgramError(f"line {line_number}: vstore needs 3+ operands")
+            src = _parse_register(operands[0], line_number)
+            keywords = _parse_keywords(operands[1:], line_number)
+            program.append(
+                VStore(
+                    src,
+                    int(keywords["base"]),
+                    int(keywords["stride"]),
+                    int(keywords["length"]) if "length" in keywords else None,
+                )
+            )
+        elif mnemonic in ("vadd", "vsub", "vmul"):
+            if len(operands) != 3:
+                raise ProgramError(
+                    f"line {line_number}: {mnemonic} needs dst, a, b"
+                )
+            dst, a, b = (
+                _parse_register(operand, line_number) for operand in operands
+            )
+            kind = {"vadd": VAdd, "vsub": VSub, "vmul": VMul}[mnemonic]
+            program.append(kind(dst, a, b))
+        elif mnemonic in ("vgather", "vscatter"):
+            if len(operands) < 3:
+                raise ProgramError(
+                    f"line {line_number}: {mnemonic} needs reg, index-reg, "
+                    "base="
+                )
+            data_register = _parse_register(operands[0], line_number)
+            index_register = _parse_register(operands[1], line_number)
+            keywords = _parse_keywords(operands[2:], line_number)
+            length = int(keywords["length"]) if "length" in keywords else None
+            if mnemonic == "vgather":
+                program.append(
+                    VGather(
+                        data_register,
+                        int(keywords["base"]),
+                        index_register,
+                        length,
+                    )
+                )
+            else:
+                program.append(
+                    VScatter(
+                        data_register,
+                        int(keywords["base"]),
+                        index_register,
+                        length,
+                    )
+                )
+        elif mnemonic == "vsum":
+            if len(operands) < 2:
+                raise ProgramError(f"line {line_number}: vsum needs dst, src")
+            dst = _parse_register(operands[0], line_number)
+            src = _parse_register(operands[1], line_number)
+            keywords = _parse_keywords(operands[2:], line_number)
+            length = int(keywords["length"]) if "length" in keywords else None
+            program.append(VSum(dst, src, length))
+        elif mnemonic in ("vscale", "vsadd"):
+            if len(operands) != 3:
+                raise ProgramError(
+                    f"line {line_number}: {mnemonic} needs dst, src, scalar="
+                )
+            dst = _parse_register(operands[0], line_number)
+            src = _parse_register(operands[1], line_number)
+            keywords = _parse_keywords(operands[2:], line_number)
+            if "scalar" not in keywords:
+                raise ProgramError(
+                    f"line {line_number}: {mnemonic} needs scalar=<value>"
+                )
+            kind = {"vscale": VScale, "vsadd": VSAdd}[mnemonic]
+            program.append(kind(dst, src, keywords["scalar"]))
+        else:
+            raise ProgramError(
+                f"line {line_number}: unknown mnemonic {mnemonic!r}"
+            )
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Textual form of a program (inverse of :func:`assemble`)."""
+    lines: list[str] = []
+    for instruction in program:
+        if isinstance(instruction, VLoad):
+            suffix = (
+                f", length={instruction.length}"
+                if instruction.length is not None
+                else ""
+            )
+            lines.append(
+                f"vload v{instruction.dst}, base={instruction.base}, "
+                f"stride={instruction.stride}{suffix}"
+            )
+        elif isinstance(instruction, VStore):
+            suffix = (
+                f", length={instruction.length}"
+                if instruction.length is not None
+                else ""
+            )
+            lines.append(
+                f"vstore v{instruction.src}, base={instruction.base}, "
+                f"stride={instruction.stride}{suffix}"
+            )
+        elif isinstance(instruction, (VAdd, VSub, VMul)):
+            name = f"v{instruction.mnemonic.lower()}"
+            lines.append(
+                f"{name} v{instruction.dst}, v{instruction.a}, "
+                f"v{instruction.b}"
+            )
+        elif isinstance(instruction, (VScale, VSAdd)):
+            name = "vscale" if isinstance(instruction, VScale) else "vsadd"
+            lines.append(
+                f"{name} v{instruction.dst}, v{instruction.src}, "
+                f"scalar={instruction.scalar}"
+            )
+        elif isinstance(instruction, VGather):
+            suffix = (
+                f", length={instruction.length}"
+                if instruction.length is not None
+                else ""
+            )
+            lines.append(
+                f"vgather v{instruction.dst}, v{instruction.index}, "
+                f"base={instruction.base}{suffix}"
+            )
+        elif isinstance(instruction, VScatter):
+            suffix = (
+                f", length={instruction.length}"
+                if instruction.length is not None
+                else ""
+            )
+            lines.append(
+                f"vscatter v{instruction.src}, v{instruction.index}, "
+                f"base={instruction.base}{suffix}"
+            )
+        elif isinstance(instruction, VSum):
+            suffix = (
+                f", length={instruction.length}"
+                if instruction.length is not None
+                else ""
+            )
+            lines.append(
+                f"vsum v{instruction.dst}, v{instruction.src}{suffix}"
+            )
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"cannot disassemble {instruction!r}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Compiler-style strip-mining (Section 1 and Section 5-C).
+
+Vectors longer than the register are processed in register-length strips;
+the (at most one) remainder strip is shorter and goes through the
+short-vector path.  The helpers here generate both the strip bounds and
+complete strip-mined programs for the classic kernels the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.processor.isa import VAdd, VLoad, VMul, VScale, VStore
+from repro.processor.program import Program
+
+
+@dataclass(frozen=True)
+class Strip:
+    """One strip of a long vector operation."""
+
+    offset: int  # first element index covered by this strip
+    length: int  # elements in this strip
+
+
+def strip_bounds(total_length: int, register_length: int) -> list[Strip]:
+    """Split ``total_length`` elements into register-length strips.
+
+    The last strip carries the remainder (if any); all others have
+    exactly ``register_length`` elements, which is why the paper can
+    assume "a very high fraction of the accesses are of vectors of length
+    equal to that of the registers".
+    """
+    if total_length < 1:
+        raise ProgramError(f"total_length must be >= 1, got {total_length}")
+    if register_length < 1:
+        raise ProgramError(
+            f"register_length must be >= 1, got {register_length}"
+        )
+    strips: list[Strip] = []
+    offset = 0
+    while offset < total_length:
+        length = min(register_length, total_length - offset)
+        strips.append(Strip(offset, length))
+        offset += length
+    return strips
+
+
+def full_strip_fraction(total_length: int, register_length: int) -> float:
+    """Fraction of elements living in full (register-length) strips."""
+    strips = strip_bounds(total_length, register_length)
+    full = sum(s.length for s in strips if s.length == register_length)
+    return full / total_length
+
+
+def daxpy_program(
+    n: int,
+    register_length: int,
+    alpha: float,
+    x_base: int,
+    x_stride: int,
+    y_base: int,
+    y_stride: int,
+) -> Program:
+    """Strip-mined ``y = alpha * x + y`` over ``n`` elements.
+
+    Register convention per strip: V1 = x, V2 = y, V3 = alpha * x,
+    V4 = result.
+    """
+    program = Program()
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(1, x_base + x_stride * strip.offset, x_stride, length)
+        )
+        program.append(
+            VLoad(2, y_base + y_stride * strip.offset, y_stride, length)
+        )
+        program.append(VScale(3, 1, alpha, length))
+        program.append(VAdd(4, 3, 2, length))
+        program.append(
+            VStore(4, y_base + y_stride * strip.offset, y_stride, length)
+        )
+    return program
+
+
+def elementwise_product_program(
+    n: int,
+    register_length: int,
+    a_base: int,
+    a_stride: int,
+    b_base: int,
+    b_stride: int,
+    out_base: int,
+    out_stride: int,
+) -> Program:
+    """Strip-mined ``out = a * b`` (used by the matrix examples)."""
+    program = Program()
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(1, a_base + a_stride * strip.offset, a_stride, length)
+        )
+        program.append(
+            VLoad(2, b_base + b_stride * strip.offset, b_stride, length)
+        )
+        program.append(VMul(3, 1, 2, length))
+        program.append(
+            VStore(3, out_base + out_stride * strip.offset, out_stride, length)
+        )
+    return program

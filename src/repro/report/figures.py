@@ -1,0 +1,91 @@
+"""ASCII figures: bar charts and sparklines for terminal reports.
+
+The benches and examples are terminal programs; these helpers render
+their series the way the paper's figures would, without a plotting
+dependency.  Deterministic text output also diffs cleanly in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+#: Eight block glyphs, thinnest to tallest, for sparklines.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    Bars scale to the maximum value; each row shows the numeric value so
+    the chart is lossless.
+    """
+    if len(labels) != len(values):
+        raise ReproError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        raise ReproError("bar_chart needs at least one value")
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    if any(value < 0 for value in values):
+        raise ReproError("bar_chart values must be non-negative")
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = round(width * value / peak) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a series using block glyphs."""
+    if not values:
+        raise ReproError("sparkline needs at least one value")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_GLYPHS[0] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        rank = int((value - low) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[rank])
+    return "".join(out)
+
+
+def latency_profile(
+    families: Sequence[int],
+    latencies: Sequence[int],
+    minimum: int,
+    width: int = 40,
+) -> str:
+    """Per-family latency chart annotated with the conflict-free floor.
+
+    Families at the floor are drawn with ``=``, conflicting ones with
+    ``#`` — the visual signature of a conflict-free window.
+    """
+    if len(families) != len(latencies):
+        raise ReproError("families and latencies must align")
+    if minimum < 1:
+        raise ReproError(f"minimum latency must be >= 1, got {minimum}")
+    peak = max(latencies)
+    lines = [f"minimum (T+L+1) = {minimum}"]
+    for family, latency in zip(families, latencies):
+        filled = round(width * latency / peak) if peak > 0 else 0
+        glyph = "=" if latency == minimum else "#"
+        lines.append(
+            f"x={family:<2d} |{(glyph * filled).ljust(width)}| {latency}"
+        )
+    return "\n".join(lines)

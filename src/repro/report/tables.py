@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows the paper reports; this module renders
+them as aligned ASCII tables (and as Markdown for EXPERIMENTS.md).  No
+third-party dependency — the output must be readable in a terminal and a
+diff.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Render one cell: floats to 4 significant figures, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Aligned ASCII table."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[col]) for col, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """GitHub-flavoured Markdown table (for EXPERIMENTS.md)."""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(format_cell(value) for value in row) + " |")
+    return "\n".join(lines)

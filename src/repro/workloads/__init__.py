@@ -1,0 +1,43 @@
+"""Workload generators: stride populations and kernel access patterns."""
+
+from repro.workloads.indexed import (
+    bit_reversal_indices,
+    block_shuffle_indices,
+    csr_row_indices,
+    histogram_indices,
+)
+from repro.workloads.kernels import (
+    fft_butterfly_accesses,
+    matrix_antidiagonal_access,
+    matrix_column_accesses,
+    matrix_diagonal_access,
+    matrix_row_accesses,
+    stencil_accesses,
+    transpose_block_accesses,
+)
+from repro.workloads.strides import (
+    WeightedStride,
+    family_mix,
+    realistic_stride_population,
+    realistic_strides,
+    uniform_strides,
+)
+
+__all__ = [
+    "WeightedStride",
+    "bit_reversal_indices",
+    "block_shuffle_indices",
+    "csr_row_indices",
+    "family_mix",
+    "fft_butterfly_accesses",
+    "histogram_indices",
+    "matrix_antidiagonal_access",
+    "matrix_column_accesses",
+    "matrix_diagonal_access",
+    "matrix_row_accesses",
+    "realistic_stride_population",
+    "realistic_strides",
+    "stencil_accesses",
+    "transpose_block_accesses",
+    "uniform_strides",
+]

@@ -1,0 +1,121 @@
+"""Kernel access-pattern generators.
+
+Each generator returns the list of :class:`~repro.core.vector.VectorAccess`
+requests a vectorising compiler would emit for a classic kernel, so the
+examples and benches exercise the memory system with the address streams
+the paper's introduction motivates (matrix columns and diagonals, FFT
+butterflies, strided updates).
+"""
+
+from __future__ import annotations
+
+from repro.core.vector import VectorAccess
+from repro.errors import VectorSpecError
+
+
+def _check_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value < 1:
+            raise VectorSpecError(f"{name} must be >= 1, got {value}")
+
+
+def matrix_row_accesses(rows: int, cols: int, base: int = 0) -> list[VectorAccess]:
+    """Row-major matrix, one access per row: stride 1, length ``cols``."""
+    _check_positive(rows=rows, cols=cols)
+    return [VectorAccess(base + r * cols, 1, cols) for r in range(rows)]
+
+
+def matrix_column_accesses(
+    rows: int, cols: int, base: int = 0
+) -> list[VectorAccess]:
+    """Row-major matrix, one access per column: stride ``cols``.
+
+    The canonical troublesome pattern when ``cols`` is a power of two —
+    the family is ``x = log2(cols)`` and conventional interleaving
+    serialises the whole column into one module.
+    """
+    _check_positive(rows=rows, cols=cols)
+    return [VectorAccess(base + c, cols, rows) for c in range(cols)]
+
+
+def matrix_diagonal_access(n: int, base: int = 0) -> VectorAccess:
+    """Main diagonal of a row-major ``n x n`` matrix: stride ``n + 1``."""
+    _check_positive(n=n)
+    return VectorAccess(base, n + 1, n)
+
+
+def matrix_antidiagonal_access(n: int, base: int = 0) -> VectorAccess:
+    """Anti-diagonal: stride ``n - 1`` starting at the first row's end."""
+    if n < 2:
+        raise VectorSpecError(f"anti-diagonal needs n >= 2, got {n}")
+    return VectorAccess(base + n - 1, n - 1, n)
+
+
+def fft_butterfly_accesses(
+    n: int, stage: int, base: int = 0
+) -> list[VectorAccess]:
+    """Element accesses of one radix-2 FFT stage.
+
+    Stage ``k`` (0-based) pairs elements ``2**k`` apart: groups of
+    ``2**(k+1)`` contain ``2**k`` butterflies.  Vectorised over groups,
+    the loads are stride ``2**(k+1)`` vectors of length
+    ``n / 2**(k+1)`` — exactly the power-of-two families the XOR window
+    must cover.
+    """
+    _check_positive(n=n)
+    if not 0 <= stage < n.bit_length() - 1:
+        raise VectorSpecError(
+            f"stage {stage} out of range for FFT of size {n}"
+        )
+    half = 1 << stage
+    group = half * 2
+    count = n // group
+    accesses = []
+    for offset in range(half):
+        # top and bottom operands of the butterflies at this offset
+        accesses.append(VectorAccess(base + offset, group, count))
+        accesses.append(VectorAccess(base + offset + half, group, count))
+    return accesses
+
+
+def transpose_block_accesses(
+    rows: int, cols: int, block: int, base: int = 0
+) -> list[VectorAccess]:
+    """Blocked transpose: column reads of each ``block x block`` tile."""
+    _check_positive(rows=rows, cols=cols, block=block)
+    accesses = []
+    for tile_row in range(0, rows, block):
+        for tile_col in range(0, cols, block):
+            tile_base = base + tile_row * cols + tile_col
+            height = min(block, rows - tile_row)
+            width = min(block, cols - tile_col)
+            for c in range(width):
+                accesses.append(VectorAccess(tile_base + c, cols, height))
+    return accesses
+
+
+def stencil_accesses(
+    rows: int, cols: int, base: int = 0
+) -> list[VectorAccess]:
+    """5-point stencil over a row-major grid, vectorised along rows.
+
+    Per interior row: centre, north, south (stride 1) plus west/east
+    shifted rows — all unit-stride but differently based, exercising the
+    "any initial address" part of the theorems.
+    """
+    if rows < 3 or cols < 3:
+        raise VectorSpecError("stencil needs a grid of at least 3 x 3")
+    accesses = []
+    width = cols - 2
+    for r in range(1, rows - 1):
+        row_base = base + r * cols
+        accesses.extend(
+            [
+                VectorAccess(row_base + 1, 1, width),  # centre
+                VectorAccess(row_base + 1 - cols, 1, width),  # north
+                VectorAccess(row_base + 1 + cols, 1, width),  # south
+                VectorAccess(row_base, 1, width),  # west
+                VectorAccess(row_base + 2, 1, width),  # east
+            ]
+        )
+    return accesses

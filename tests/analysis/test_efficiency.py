@@ -1,0 +1,83 @@
+"""Tests for the Section 5-B efficiency model."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.efficiency import (
+    average_cycles_per_element,
+    average_cycles_truncated,
+    efficiency,
+    family_cycles_per_element,
+    matched_ordered_efficiency,
+    matched_proposed_efficiency,
+    unmatched_ordered_efficiency,
+    unmatched_proposed_efficiency,
+)
+from repro.errors import VectorSpecError
+
+
+class TestFamilyCost:
+    def test_inside_window_unit_cost(self):
+        for family in range(5):
+            assert family_cycles_per_element(family, 4, 3) == 1
+
+    def test_beyond_window_doubles(self):
+        assert family_cycles_per_element(5, 4, 3) == 2
+        assert family_cycles_per_element(6, 4, 3) == 4
+        assert family_cycles_per_element(7, 4, 3) == 8
+
+    def test_saturates_at_t(self):
+        assert family_cycles_per_element(20, 4, 3) == 8
+
+    def test_negative_family_rejected(self):
+        with pytest.raises(VectorSpecError):
+            family_cycles_per_element(-1, 4, 3)
+
+
+class TestClosedForm:
+    def test_paper_values(self):
+        assert float(matched_proposed_efficiency(7, 3)) == pytest.approx(
+            0.914, abs=5e-4
+        )
+        assert float(unmatched_proposed_efficiency(7, 3)) == pytest.approx(
+            0.997, abs=5e-4
+        )
+        assert float(matched_ordered_efficiency(3)) == pytest.approx(0.4)
+        assert float(unmatched_ordered_efficiency(6, 3)) == pytest.approx(
+            0.842, abs=2e-3
+        )
+
+    def test_formula_shape(self):
+        assert average_cycles_per_element(4, 3) == 1 + Fraction(3, 32)
+        assert efficiency(4, 3) == Fraction(32, 35)
+
+    @given(
+        w=st.integers(min_value=0, max_value=12),
+        t=st.integers(min_value=0, max_value=6),
+    )
+    def test_truncated_sum_converges_to_closed_form(self, w, t):
+        """Summing per-family costs reproduces 1 + t/2**(w+1) exactly
+        once the truncation reaches the saturation point ``w + t``."""
+        truncated = average_cycles_truncated(w, t, max_family=w + t + 1)
+        assert truncated == average_cycles_per_element(w, t)
+
+    @given(
+        w=st.integers(min_value=0, max_value=12),
+        t=st.integers(min_value=0, max_value=6),
+    )
+    def test_efficiency_in_unit_interval(self, w, t):
+        eta = efficiency(w, t)
+        assert 0 < eta <= 1
+
+    def test_wider_window_more_efficient(self):
+        values = [float(efficiency(w, 3)) for w in range(10)]
+        assert values == sorted(values)
+
+    def test_invalid_unmatched_geometry(self):
+        with pytest.raises(VectorSpecError):
+            unmatched_ordered_efficiency(2, 3)

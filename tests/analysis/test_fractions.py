@@ -1,0 +1,59 @@
+"""Tests for the Section 5-A fraction model."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.fractions import (
+    conflict_free_fraction,
+    family_histogram,
+    matched_design_fraction,
+    monte_carlo_fraction,
+    unmatched_design_fraction,
+)
+from repro.core.planner import AccessPlanner
+from repro.errors import VectorSpecError
+from repro.mappings.linear import MatchedXorMapping
+
+
+class TestClosedForms:
+    def test_paper_matched_value(self):
+        assert matched_design_fraction(7, 3) == Fraction(31, 32)
+
+    def test_paper_unmatched_value(self):
+        assert unmatched_design_fraction(7, 3) == Fraction(1023, 1024)
+
+    def test_window_zero(self):
+        assert conflict_free_fraction(0) == Fraction(1, 2)
+
+    def test_monotone_in_window(self):
+        values = [conflict_free_fraction(w) for w in range(10)]
+        assert values == sorted(values)
+        assert all(v < 1 for v in values)
+
+    def test_lambda_below_t_rejected(self):
+        with pytest.raises(VectorSpecError):
+            matched_design_fraction(2, 3)
+
+
+class TestMonteCarlo:
+    def test_close_to_analytic(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        measured = monte_carlo_fraction(planner, 128, samples=800, seed=42)
+        assert abs(measured - 31 / 32) < 0.03
+
+    def test_deterministic_per_seed(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        a = monte_carlo_fraction(planner, 128, samples=100, seed=1)
+        b = monte_carlo_fraction(planner, 128, samples=100, seed=1)
+        assert a == b
+
+
+class TestFamilyHistogram:
+    def test_matches_geometric_weights(self):
+        histogram = family_histogram(samples=20000, seed=7)
+        for family in range(4):
+            expected = 2.0 ** -(family + 1)
+            assert abs(histogram[family] - expected) < 0.02

@@ -1,0 +1,61 @@
+"""Tests for the design-space sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import (
+    design_row,
+    efficiency_crossover_t,
+    sweep_lambda,
+    sweep_t,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDesignRow:
+    def test_paper_point(self):
+        row = design_row(7, 3)
+        assert row.matched_window == 5
+        assert row.unmatched_window == 10
+        assert row.vector_length == 128
+        assert float(row.matched_efficiency) == pytest.approx(0.914, abs=1e-3)
+        assert float(row.unmatched_efficiency) == pytest.approx(0.997, abs=1e-3)
+
+    def test_degenerate_lambda_equals_t(self):
+        row = design_row(3, 3)
+        assert row.matched_window == 1
+        assert row.unmatched_window == 2
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            design_row(2, 3)
+
+    def test_advantage_at_t_zero_is_one(self):
+        assert design_row(7, 0).advantage == 1.0
+
+
+class TestSweeps:
+    def test_lambda_sweep_monotone(self):
+        rows = sweep_lambda(3, range(3, 12))
+        efficiencies = [float(row.matched_efficiency) for row in rows]
+        assert efficiencies == sorted(efficiencies)
+        windows = [row.matched_window for row in rows]
+        assert windows == list(range(1, 10))
+
+    def test_t_sweep_skips_invalid(self):
+        rows = sweep_t(5, range(0, 10))
+        assert [row.t for row in rows] == list(range(0, 6))
+
+    def test_lambda_sweep_skips_below_t(self):
+        rows = sweep_lambda(4, range(0, 6))
+        assert [row.lambda_exponent for row in rows] == [4, 5]
+
+
+class TestCrossover:
+    def test_paper_register_length(self):
+        assert efficiency_crossover_t(7) == 4
+
+    def test_longer_registers_tolerate_slower_memory(self):
+        crossovers = [efficiency_crossover_t(lam) for lam in (6, 8, 10)]
+        assert crossovers == sorted(crossovers)

@@ -1,0 +1,93 @@
+"""Tests for the Section 5-E/5-G/5-H trade-off models."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.tradeoffs import (
+    families_vs_length,
+    matched_design_point,
+    maximum_extra_families,
+    ordered_design_point,
+    unmatched_design_point,
+    window_doubling_cost,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDesignPoints:
+    def test_matched_point(self):
+        point = matched_design_point(7, 3)
+        assert point.modules == 8
+        assert point.window_families == 5
+        assert point.stride_fraction == Fraction(31, 32)
+
+    def test_unmatched_point(self):
+        point = unmatched_design_point(7, 3)
+        assert point.modules == 64
+        assert point.window_families == 10
+        assert point.stride_fraction == Fraction(1023, 1024)
+
+    def test_ordered_point(self):
+        point = ordered_design_point(6, 3)
+        assert point.modules == 64
+        assert point.window_families == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            matched_design_point(2, 3)
+        with pytest.raises(ConfigurationError):
+            ordered_design_point(2, 3)
+
+
+class TestSquaringLaw:
+    def test_doubling_cost_is_t(self):
+        assert window_doubling_cost(7, 3) == 8.0
+
+    def test_unmatched_modules_are_square_of_matched(self):
+        matched = matched_design_point(7, 3)
+        unmatched = unmatched_design_point(7, 3)
+        assert unmatched.modules == matched.modules**2
+
+    def test_added_families_carry_few_strides(self):
+        """5-E: the extra families cover exponentially fewer strides."""
+        matched = matched_design_point(7, 3)
+        unmatched = unmatched_design_point(7, 3)
+        gain = unmatched.stride_fraction - matched.stride_fraction
+        assert gain == Fraction(31, 1024)  # < 1/32 for 56 extra modules
+
+
+class TestMaxFamilies:
+    def test_section_5g_bonus(self):
+        assert maximum_extra_families(3) == 2
+        assert maximum_extra_families(1) == 0
+        with pytest.raises(ConfigurationError):
+            maximum_extra_families(0)
+
+
+class TestLengthSensitivity:
+    def test_paper_values(self):
+        sensitivity = families_vs_length(7, 3)
+        assert sensitivity.ordered_any_length == 4
+        assert sensitivity.proposed_any_length == 2
+        assert sensitivity.proposed_fixed_length == 10
+
+    def test_fixed_length_grows_with_lambda(self):
+        counts = [
+            families_vs_length(lam, 3).proposed_fixed_length
+            for lam in range(3, 10)
+        ]
+        assert counts == sorted(counts)
+        assert counts[0] == 2  # lambda = t: only x=s and x=y
+
+    def test_crossover(self):
+        """The proposed scheme beats ordered exactly when lambda > t+1."""
+        for lam in range(3, 10):
+            sensitivity = families_vs_length(lam, 3)
+            beats = (
+                sensitivity.proposed_fixed_length
+                > sensitivity.ordered_any_length
+            )
+            assert beats == (lam > 4)

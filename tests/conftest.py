@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's two headline configurations and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import AccessPlanner
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.section import SectionXorMapping
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+
+
+@pytest.fixture
+def matched_mapping() -> MatchedXorMapping:
+    """The paper's running matched example: t=3, s=4 (L=128)."""
+    return MatchedXorMapping(3, 4)
+
+
+@pytest.fixture
+def matched_config(matched_mapping) -> MemoryConfig:
+    return MemoryConfig(matched_mapping, 3)
+
+
+@pytest.fixture
+def matched_planner(matched_mapping) -> AccessPlanner:
+    return AccessPlanner(matched_mapping, 3)
+
+
+@pytest.fixture
+def matched_system(matched_config) -> MemorySystem:
+    return MemorySystem(matched_config)
+
+
+@pytest.fixture
+def section_mapping() -> SectionXorMapping:
+    """The paper's unmatched example: t=3, s=4, y=9 (L=128, M=64)."""
+    return SectionXorMapping(3, 4, 9)
+
+
+@pytest.fixture
+def section_config(section_mapping) -> MemoryConfig:
+    return MemoryConfig(section_mapping, 3)
+
+
+@pytest.fixture
+def section_planner(section_mapping) -> AccessPlanner:
+    return AccessPlanner(section_mapping, 3)
+
+
+@pytest.fixture
+def section_system(section_config) -> MemorySystem:
+    return MemorySystem(section_config)
+
+
+@pytest.fixture
+def figure3_mapping() -> MatchedXorMapping:
+    """The Figure 3 mapping: m=t=3, s=3."""
+    return MatchedXorMapping(3, 3)
+
+
+@pytest.fixture
+def figure7_mapping() -> SectionXorMapping:
+    """The Figure 7 mapping: t=2, m=4, s=3, y=7."""
+    return SectionXorMapping(2, 3, 7)

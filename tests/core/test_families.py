@@ -1,0 +1,114 @@
+"""Tests for stride-family algebra."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.families import (
+    StrideFamily,
+    decompose_stride,
+    families_up_to,
+    family_fraction,
+    family_of,
+    odd_part,
+    strides_of_families,
+    window_fraction,
+)
+from repro.errors import VectorSpecError
+
+nonzero_strides = st.integers(min_value=-(2**24), max_value=2**24).filter(
+    lambda s: s != 0
+)
+
+
+class TestDecompose:
+    def test_simple_cases(self):
+        assert decompose_stride(1) == (1, 0)
+        assert decompose_stride(12) == (3, 2)
+        assert decompose_stride(16) == (1, 4)
+        assert decompose_stride(96) == (3, 5)
+
+    def test_negative_strides(self):
+        assert decompose_stride(-12) == (-3, 2)
+        assert decompose_stride(-1) == (-1, 0)
+
+    def test_zero_rejected(self):
+        with pytest.raises(VectorSpecError):
+            decompose_stride(0)
+
+    @given(nonzero_strides)
+    def test_reconstruction(self, stride):
+        sigma, x = decompose_stride(stride)
+        assert sigma % 2 != 0
+        assert sigma * (1 << x) == stride
+
+    @given(nonzero_strides)
+    def test_family_and_odd_part_consistent(self, stride):
+        assert family_of(stride) == decompose_stride(stride)[1]
+        assert odd_part(stride) == decompose_stride(stride)[0]
+
+    @given(st.integers(min_value=-(2**20), max_value=2**20).filter(lambda s: s != 0))
+    def test_negation_preserves_family(self, stride):
+        assert family_of(stride) == family_of(-stride)
+
+
+class TestFractions:
+    def test_family_fraction_values(self):
+        assert family_fraction(0) == Fraction(1, 2)
+        assert family_fraction(3) == Fraction(1, 16)
+
+    def test_negative_family_rejected(self):
+        with pytest.raises(VectorSpecError):
+            family_fraction(-1)
+
+    def test_window_fraction_paper_values(self):
+        assert window_fraction(4) == Fraction(31, 32)
+        assert window_fraction(9) == Fraction(1023, 1024)
+
+    def test_window_fraction_is_cumulative(self):
+        for w in range(8):
+            total = sum(family_fraction(x) for x in range(w + 1))
+            assert window_fraction(w) == total
+
+    def test_empirical_family_frequency(self):
+        """Among 1..2**k, family x holds ~2**-(x+1) of the strides."""
+        groups = strides_of_families(1 << 12)
+        total = 1 << 12
+        for family in range(6):
+            observed = Fraction(len(groups[family]), total)
+            assert abs(observed - family_fraction(family)) <= Fraction(1, total)
+
+
+class TestStrideFamily:
+    def test_membership(self):
+        family = StrideFamily(2)
+        assert family.contains(12)
+        assert family.contains(4)
+        assert family.contains(-20)
+        assert not family.contains(8)
+        assert not family.contains(6)
+        assert not family.contains(0)
+
+    def test_representative(self):
+        assert StrideFamily(5).representative() == 32
+
+    def test_members(self):
+        assert StrideFamily(1).members(20) == [2, 6, 10, 14, 18]
+
+    def test_members_cover_partition(self):
+        bound = 256
+        seen = []
+        for family in families_up_to(8):
+            seen.extend(family.members(bound))
+        assert sorted(seen) == list(range(1, bound + 1))
+
+    def test_negative_family_rejected(self):
+        with pytest.raises(VectorSpecError):
+            StrideFamily(-1)
+
+    def test_str_mentions_exponent(self):
+        assert "x=3" in str(StrideFamily(3))

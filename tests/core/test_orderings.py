@@ -1,0 +1,146 @@
+"""Tests for the three request orderings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import is_conflict_free, temporal_distribution
+from repro.core.orderings import (
+    RequestOrder,
+    canonical_order,
+    conflict_free_order,
+    subsequence_order,
+)
+from repro.core.subsequences import build_subsequences
+from repro.core.vector import VectorAccess
+from repro.errors import OrderingError
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.section import SectionXorMapping
+
+
+class TestCanonicalOrder:
+    def test_identity_permutation(self):
+        order = canonical_order(VectorAccess(5, 3, 16))
+        assert order.indices == tuple(range(16))
+        assert order.name == "canonical"
+        assert order.is_permutation()
+
+    def test_addresses(self):
+        order = canonical_order(VectorAccess(5, 3, 4))
+        assert order.addresses() == [5, 8, 11, 14]
+
+
+class TestRequestOrderValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(OrderingError):
+            RequestOrder("broken", (0, 1), VectorAccess(0, 1, 3))
+
+
+class TestSubsequenceOrder:
+    def test_paper_issue_order(self, figure3_mapping):
+        """Stride 12 example: evens then odds within each period."""
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        order = subsequence_order(plan)
+        assert order.indices[:8] == (0, 2, 4, 6, 8, 10, 12, 14)
+        assert order.indices[8:16] == (1, 3, 5, 7, 9, 11, 13, 15)
+        assert order.indices[16:24] == (16, 18, 20, 22, 24, 26, 28, 30)
+        assert order.is_permutation()
+
+    def test_each_subsequence_conflict_free(self, matched_mapping):
+        """Theorem 2: every subsequence alone is conflict-free."""
+        for family in range(5):
+            vector = VectorAccess(99, 3 * (1 << family), 128)
+            plan = build_subsequences(vector, w=4, t=3)
+            for _, _, indices in plan.iter_subsequences():
+                modules = temporal_distribution(
+                    matched_mapping, vector, indices
+                )
+                assert is_conflict_free(modules, 8)
+
+
+class TestConflictFreeOrder:
+    @settings(max_examples=50)
+    @given(
+        x=st.integers(min_value=0, max_value=4),
+        sigma=st.integers(min_value=-9, max_value=9).filter(lambda v: v % 2 != 0),
+        base=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_matched_conflict_free(self, x, sigma, base):
+        """The Section 3.2 order is conflict-free across the window."""
+        mapping = MatchedXorMapping(3, 4)
+        vector = VectorAccess(base, sigma * (1 << x), 128)
+        plan = build_subsequences(vector, w=4, t=3)
+        order = conflict_free_order(
+            plan, lambda address: mapping.module_of(mapping.reduce(address))
+        )
+        assert order.is_permutation()
+        modules = temporal_distribution(mapping, vector, order.indices)
+        assert is_conflict_free(modules, 8)
+
+    @settings(max_examples=50)
+    @given(
+        x=st.integers(min_value=0, max_value=9),
+        sigma=st.integers(min_value=-9, max_value=9).filter(lambda v: v % 2 != 0),
+        base=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_unmatched_conflict_free(self, x, sigma, base):
+        """Section 4.2: both windows on the section mapping."""
+        mapping = SectionXorMapping(3, 4, 9)
+        vector = VectorAccess(base, sigma * (1 << x), 128)
+        if x <= 4:
+            plan = build_subsequences(vector, w=4, t=3)
+            key = mapping.module_within_section
+        else:
+            plan = build_subsequences(vector, w=9, t=3)
+            key = mapping.section_of
+        order = conflict_free_order(plan, key)
+        assert order.is_permutation()
+        modules = temporal_distribution(mapping, vector, order.indices)
+        assert is_conflict_free(modules, 8)
+
+    def test_first_subsequence_stays_natural(self, figure3_mapping):
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        order = conflict_free_order(
+            plan,
+            lambda address: figure3_mapping.module_of(
+                figure3_mapping.reduce(address)
+            ),
+        )
+        assert order.indices[:8] == tuple(plan.subsequence_indices(0, 0))
+
+    def test_same_module_exactly_t_apart(self, figure3_mapping):
+        """The defining property: equal modules are exactly T slots apart."""
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        order = conflict_free_order(
+            plan,
+            lambda address: figure3_mapping.module_of(
+                figure3_mapping.reduce(address)
+            ),
+        )
+        modules = temporal_distribution(figure3_mapping, vector, order.indices)
+        last_position: dict[int, int] = {}
+        for position, module in enumerate(modules):
+            if module in last_position:
+                assert position - last_position[module] == 8
+            last_position[module] = position
+
+    def test_bad_key_function_rejected(self):
+        """A key that repeats within a subsequence raises."""
+        vector = VectorAccess(0, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        with pytest.raises(OrderingError):
+            conflict_free_order(plan, lambda address: 0)
+
+    def test_key_absent_from_first_subsequence_rejected(self):
+        """A key whose values drift across subsequences raises."""
+        vector = VectorAccess(0, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        # Key = element address // 96: first subsequence yields values
+        # 0..1 with duplicates -> rejected by the uniqueness check.
+        with pytest.raises(OrderingError):
+            conflict_free_order(plan, lambda address: address // 96)

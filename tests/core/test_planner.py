@@ -1,0 +1,167 @@
+"""Tests for the access planner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.errors import ConfigurationError, OrderingError
+from repro.mappings.interleaved import LowOrderInterleaved
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.matrix import PseudoRandomMapping
+from repro.mappings.section import SectionXorMapping
+
+
+class TestConstruction:
+    def test_t_must_fit_modules(self):
+        with pytest.raises(ConfigurationError):
+            AccessPlanner(MatchedXorMapping(3, 4), 4)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessPlanner(MatchedXorMapping(3, 4), -1)
+
+    def test_service_ratio(self, matched_planner):
+        assert matched_planner.service_ratio == 8
+
+
+class TestModeSelection:
+    def test_auto_uses_conflict_free_inside_window(self, matched_planner):
+        plan = matched_planner.plan(VectorAccess(0, 12, 128))
+        assert plan.scheme == "conflict_free"
+        assert plan.conflict_free
+
+    def test_auto_falls_back_outside_window(self, matched_planner):
+        plan = matched_planner.plan(VectorAccess(0, 1 << 6, 128))
+        assert plan.scheme == "canonical"
+        assert not plan.conflict_free
+
+    def test_auto_falls_back_on_bad_length(self, matched_planner):
+        plan = matched_planner.plan(VectorAccess(0, 12, 100))
+        assert plan.scheme == "canonical"
+
+    def test_explicit_conflict_free_raises_outside_window(
+        self, matched_planner
+    ):
+        with pytest.raises(OrderingError):
+            matched_planner.plan(
+                VectorAccess(0, 1 << 6, 128), mode="conflict_free"
+            )
+
+    def test_explicit_ordered(self, matched_planner):
+        plan = matched_planner.plan(VectorAccess(0, 12, 128), mode="ordered")
+        assert plan.scheme == "canonical"
+
+    def test_subsequence_mode(self, matched_planner):
+        plan = matched_planner.plan(
+            VectorAccess(16, 12, 128), mode="subsequence"
+        )
+        assert plan.scheme == "subsequence"
+
+    def test_unknown_mode_rejected(self, matched_planner):
+        with pytest.raises(ConfigurationError):
+            matched_planner.plan(VectorAccess(0, 1, 128), mode="bogus")
+
+    def test_unstructured_mapping_only_ordered(self):
+        planner = AccessPlanner(PseudoRandomMapping(3, seed=1), 3)
+        plan = planner.plan(VectorAccess(0, 12, 128))
+        assert plan.scheme == "canonical"
+        with pytest.raises(OrderingError):
+            planner.plan(VectorAccess(0, 12, 128), mode="conflict_free")
+
+
+class TestSectionMappingSelection:
+    def test_low_window_uses_inner_chunks(self, section_planner):
+        plan = section_planner.plan(VectorAccess(0, 12, 128))
+        assert plan.scheme == "conflict_free"
+        assert plan.conflict_free
+
+    def test_high_window_uses_sections(self, section_planner):
+        plan = section_planner.plan(VectorAccess(0, 3 << 7, 128))
+        assert plan.scheme == "conflict_free"
+        assert plan.conflict_free
+
+    def test_above_window_falls_back(self, section_planner):
+        plan = section_planner.plan(VectorAccess(0, 1 << 11, 128))
+        assert plan.scheme == "canonical"
+        assert not plan.conflict_free
+
+
+class TestPlanContents:
+    def test_request_stream_carries_element_indices(self, matched_planner):
+        vector = VectorAccess(16, 12, 128)
+        plan = matched_planner.plan(vector)
+        stream = plan.request_stream()
+        assert len(stream) == 128
+        assert sorted(index for index, _ in stream) == list(range(128))
+        for index, address in stream:
+            assert address == vector.address_of(index)
+
+    def test_minimum_latency(self, matched_planner):
+        plan = matched_planner.plan(VectorAccess(0, 1, 128))
+        assert plan.minimum_latency == 8 + 128 + 1
+
+    def test_modules_agree_with_mapping(
+        self, matched_planner, matched_mapping
+    ):
+        vector = VectorAccess(7, 20, 128)
+        plan = matched_planner.plan(vector)
+        for (index, address), module in zip(
+            plan.request_stream(), plan.modules
+        ):
+            assert module == matched_mapping.module_of(
+                matched_mapping.reduce(address)
+            )
+
+
+class TestLowOrderMapping:
+    def test_odd_stride_conflict_free_via_reorder(self):
+        """LowOrderInterleaved exposes s=0; x=0 is its whole window."""
+        planner = AccessPlanner(LowOrderInterleaved(3), 3)
+        plan = planner.plan(VectorAccess(5, 7, 64))
+        assert plan.conflict_free
+
+    def test_even_stride_not_coverable(self):
+        planner = AccessPlanner(LowOrderInterleaved(3), 3)
+        plan = planner.plan(VectorAccess(5, 14, 64))
+        assert plan.scheme == "canonical"
+        assert not plan.conflict_free
+
+
+class TestTheorem1ByBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=6),
+        sigma=st.integers(min_value=-15, max_value=15).filter(
+            lambda v: v % 2 != 0
+        ),
+        base=st.integers(min_value=0, max_value=2**24),
+    )
+    def test_window_verdict_matches_theorem(self, x, sigma, base):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        plan = planner.plan(VectorAccess(base, sigma * (1 << x), 128))
+        assert plan.conflict_free == (x <= 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=11),
+        sigma=st.integers(min_value=-15, max_value=15).filter(
+            lambda v: v % 2 != 0
+        ),
+        base=st.integers(min_value=0, max_value=2**24),
+    )
+    def test_theorem3_verdict(self, x, sigma, base):
+        planner = AccessPlanner(SectionXorMapping(3, 4, 9), 3)
+        plan = planner.plan(VectorAccess(base, sigma * (1 << x), 128))
+        assert plan.conflict_free == (x <= 9)
+
+
+class TestTMatchedHelper:
+    def test_matches_theorem_boundaries(self, matched_planner):
+        assert matched_planner.vector_t_matched(VectorAccess(3, 12, 128))
+        assert not matched_planner.vector_t_matched(
+            VectorAccess(3, 1 << 6, 128)
+        )

@@ -1,0 +1,146 @@
+"""Tests for the oracle cooldown scheduler."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import AccessPlanner
+from repro.core.scheduler import (
+    OraclePlanner,
+    feasible_with_cooldown,
+    schedule_with_cooldown,
+)
+from repro.core.vector import VectorAccess
+from repro.errors import OrderingError
+from repro.mappings.linear import MatchedXorMapping
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+
+
+def check_schedule(modules, cooldown, schedule) -> None:
+    """A valid schedule is a permutation with same-module gap >= T."""
+    assert sorted(schedule) == list(range(len(modules)))
+    last: dict[int, int] = {}
+    for slot, position in enumerate(schedule):
+        module = modules[position]
+        if module in last:
+            assert slot - last[module] >= cooldown
+        last[module] = slot
+
+
+class TestScheduleWithCooldown:
+    def test_uniform_tight_case(self):
+        modules = list(range(8)) * 9
+        schedule = schedule_with_cooldown(modules, 8)
+        assert schedule is not None
+        check_schedule(modules, 8, schedule)
+
+    def test_single_module_infeasible(self):
+        assert schedule_with_cooldown([0, 0, 0], 2) is None
+
+    def test_cooldown_one_always_feasible(self):
+        modules = [0, 0, 0, 1, 2]
+        schedule = schedule_with_cooldown(modules, 1)
+        assert schedule is not None
+        check_schedule(modules, 1, schedule)
+
+    def test_invalid_cooldown(self):
+        with pytest.raises(OrderingError):
+            schedule_with_cooldown([0], 0)
+
+    def test_preserves_element_order_within_module(self):
+        modules = [0, 1, 0, 1]
+        schedule = schedule_with_cooldown(modules, 2)
+        positions_of_zero = [p for p in schedule if modules[p] == 0]
+        assert positions_of_zero == sorted(positions_of_zero)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        modules=st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=80
+        ),
+        cooldown=st.integers(min_value=1, max_value=8),
+    )
+    def test_greedy_matches_feasibility_formula(self, modules, cooldown):
+        """Greedy succeeds exactly when (c_max-1)*T + k <= L."""
+        schedule = schedule_with_cooldown(modules, cooldown)
+        feasible = feasible_with_cooldown(modules, cooldown)
+        assert (schedule is not None) == feasible
+        if schedule is not None:
+            check_schedule(modules, cooldown, schedule)
+
+
+class TestFeasibility:
+    def test_empty(self):
+        assert feasible_with_cooldown([], 4)
+
+    def test_boundary(self):
+        # c_max=3, k=1, T=4: (3-1)*4+1 = 9 -> needs L >= 9.
+        modules = [0, 0, 0] + [1, 2, 3, 4, 5]  # L=8: infeasible
+        assert not feasible_with_cooldown(modules, 4)
+        modules.append(6)  # L=9: feasible
+        assert feasible_with_cooldown(modules, 4)
+
+
+class TestOraclePlanner:
+    @pytest.fixture
+    def oracle(self):
+        return OraclePlanner(AccessPlanner(MatchedXorMapping(3, 4), 3))
+
+    @pytest.fixture
+    def system(self):
+        return MemorySystem(MemoryConfig.matched(t=3, s=4))
+
+    def test_matches_paper_inside_window(self, oracle, system):
+        """Inside the window, oracle and paper order both hit T+L+1."""
+        for family in range(5):
+            vector = VectorAccess(16, 3 * (1 << family), 128)
+            plan = oracle.plan(vector)
+            assert plan.conflict_free
+            assert system.run_plan(plan).latency == 137
+
+    def test_covers_short_balanced_vectors(self, oracle, system):
+        """Unit-stride vectors shorter than the x=0 chunk (128): the
+        structured scheme falls back to ordered access, but the module
+        counts are perfectly balanced, so the oracle schedules them."""
+        paper = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        for length in (24, 32, 48, 64, 96):
+            vector = VectorAccess(16, 1, length)
+            oracle_plan = oracle.plan(vector)
+            paper_plan = paper.plan(vector, mode="auto")
+            assert oracle_plan.conflict_free
+            assert not paper_plan.conflict_free
+            result = system.run_plan(oracle_plan)
+            assert result.latency == 8 + length + 1
+
+    def test_unbalanced_tails_defeat_everyone(self, oracle):
+        """Most non-chunk lengths of even strides unbalance the counts;
+        then no order at all is conflict-free — the structured scheme
+        gives up nothing there."""
+        paper = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        for stride, length in [(12, 72), (12, 48), (6, 40)]:
+            vector = VectorAccess(5, stride, length)
+            assert not oracle.plan(vector).conflict_free
+            assert not paper.plan(vector, mode="auto").conflict_free
+
+    def test_falls_back_when_infeasible(self, oracle):
+        plan = oracle.plan(VectorAccess(0, 1 << 6, 128))
+        assert plan.scheme == "canonical"
+        assert not plan.conflict_free
+
+    def test_oracle_never_beats_physics(self, oracle):
+        """Out-of-window families cluster into few modules: no order
+        can be conflict-free (T-matched is necessary, Section 2)."""
+        for family in (5, 6, 7):
+            vector = VectorAccess(3, 1 << family, 128)
+            modules = [
+                oracle.mapping.module_of(oracle.mapping.reduce(a))
+                for a in vector.addresses()
+            ]
+            counts = Counter(modules)
+            assert max(counts.values()) > 128 // 8
+            assert not oracle.plan(vector).conflict_free

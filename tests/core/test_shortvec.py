@@ -1,0 +1,85 @@
+"""Tests for the Section 5-C short-vector planner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import AccessPlanner
+from repro.core.shortvec import plan_short_vector
+from repro.core.vector import VectorAccess
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.matrix import PseudoRandomMapping
+
+
+class TestSplitStructure:
+    def test_full_multiple_has_no_tail(self, matched_planner):
+        vector = VectorAccess(0, 12, 64)  # x=2, chunk=32
+        composite = plan_short_vector(matched_planner, vector)
+        assert composite.prefix_length == 64
+        assert composite.tail is None
+        assert composite.conflict_free
+
+    def test_partial_splits_at_chunk_multiple(self, matched_planner):
+        vector = VectorAccess(0, 12, 70)  # chunk=32 -> prefix 64, tail 6
+        composite = plan_short_vector(matched_planner, vector)
+        assert composite.prefix_length == 64
+        assert composite.tail is not None
+        assert composite.tail.vector.length == 6
+        assert composite.scheme == "composite(conflict_free+canonical)"
+
+    def test_shorter_than_chunk_all_ordered(self, matched_planner):
+        vector = VectorAccess(0, 12, 20)  # chunk=32 > 20
+        composite = plan_short_vector(matched_planner, vector)
+        assert composite.prefix is None
+        assert composite.prefix_length == 0
+        assert composite.scheme == "ordered"
+
+    def test_unstructured_mapping_all_ordered(self):
+        planner = AccessPlanner(PseudoRandomMapping(3, seed=3), 3)
+        composite = plan_short_vector(planner, VectorAccess(0, 12, 64))
+        assert composite.prefix is None
+
+    def test_prefix_length_is_paper_v(self, matched_planner):
+        """V = k * 2**(w+t-x) with the largest k fitting the vector."""
+        for family, length in [(0, 200), (1, 100), (2, 45), (3, 33), (4, 17)]:
+            vector = VectorAccess(0, 3 * (1 << family), length)
+            composite = plan_short_vector(matched_planner, vector)
+            chunk = 1 << (4 + 3 - family)
+            assert composite.prefix_length == (length // chunk) * chunk
+
+
+class TestStreamSemantics:
+    def test_stream_covers_all_elements_once(self, matched_planner):
+        vector = VectorAccess(3, 12, 70)
+        composite = plan_short_vector(matched_planner, vector)
+        stream = composite.request_stream()
+        indices = sorted(index for index, _ in stream)
+        assert indices == list(range(70))
+        for index, address in stream:
+            assert address == vector.address_of(index)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=4),
+        length=st.integers(min_value=1, max_value=200),
+        base=st.integers(min_value=0, max_value=10000),
+    )
+    def test_always_a_valid_permutation(self, x, length, base):
+        planner_local = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        vector = VectorAccess(base, 3 * (1 << x), length)
+        composite = plan_short_vector(planner_local, vector)
+        indices = sorted(index for index, _ in composite.request_stream())
+        assert indices == list(range(length))
+
+    def test_prefix_is_conflict_free(self, matched_planner):
+        vector = VectorAccess(3, 12, 70)
+        composite = plan_short_vector(matched_planner, vector)
+        assert composite.prefix is not None
+        assert composite.prefix.conflict_free
+
+    def test_minimum_latency(self, matched_planner):
+        vector = VectorAccess(3, 12, 70)
+        composite = plan_short_vector(matched_planner, vector)
+        assert composite.minimum_latency == 8 + 70 + 1

@@ -1,0 +1,96 @@
+"""Tests for the vector access specification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vector import VectorAccess
+from repro.errors import VectorSpecError
+
+
+class TestConstruction:
+    def test_zero_stride_rejected(self):
+        with pytest.raises(VectorSpecError):
+            VectorAccess(0, 0, 8)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(VectorSpecError):
+            VectorAccess(0, 1, 0)
+
+    def test_negative_stride_allowed(self):
+        vector = VectorAccess(100, -3, 8)
+        assert vector.family == 0
+        assert vector.sigma == -3
+
+    def test_family_and_sigma(self):
+        vector = VectorAccess(0, 12, 64)
+        assert vector.family == 2
+        assert vector.sigma == 3
+
+
+class TestLambdaExponent:
+    def test_power_of_two(self):
+        assert VectorAccess(0, 1, 128).lambda_exponent == 7
+
+    def test_non_power_rejected(self):
+        with pytest.raises(VectorSpecError):
+            VectorAccess(0, 1, 100).lambda_exponent
+
+
+class TestAddresses:
+    def test_address_of(self):
+        vector = VectorAccess(16, 12, 64)
+        assert vector.address_of(0) == 16
+        assert vector.address_of(3) == 52
+
+    def test_address_out_of_range(self):
+        vector = VectorAccess(0, 1, 4)
+        with pytest.raises(VectorSpecError):
+            vector.address_of(4)
+        with pytest.raises(VectorSpecError):
+            vector.address_of(-1)
+
+    @given(
+        st.integers(min_value=-(2**20), max_value=2**20),
+        st.integers(min_value=-512, max_value=512).filter(lambda s: s != 0),
+        st.integers(min_value=1, max_value=256),
+    )
+    def test_addresses_arithmetic(self, base, stride, length):
+        vector = VectorAccess(base, stride, length)
+        addresses = vector.addresses()
+        assert len(addresses) == length
+        assert addresses[0] == base
+        assert all(
+            addresses[i + 1] - addresses[i] == stride
+            for i in range(length - 1)
+        )
+
+
+class TestSlice:
+    def test_basic_slice(self):
+        vector = VectorAccess(10, 4, 32)
+        part = vector.slice(8, 8)
+        assert part.base == 42
+        assert part.stride == 4
+        assert part.length == 8
+
+    def test_slice_bounds(self):
+        vector = VectorAccess(0, 1, 8)
+        with pytest.raises(VectorSpecError):
+            vector.slice(4, 5)
+        with pytest.raises(VectorSpecError):
+            vector.slice(-1, 2)
+        with pytest.raises(VectorSpecError):
+            vector.slice(0, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_slice_addresses_match_parent(self, start, count):
+        vector = VectorAccess(7, 5, 200)
+        part = vector.slice(start, count)
+        for i in range(count):
+            assert part.address_of(i) == vector.address_of(start + i)

@@ -1,0 +1,124 @@
+"""Tests for the Theorem 1/3 windows and the recommended parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.windows import (
+    MatchedDesign,
+    UnmatchedDesign,
+    Window,
+    fused_unmatched_window,
+    matched_ordered_window,
+    matched_window,
+    recommended_s,
+    recommended_y,
+    unmatched_ordered_window,
+    unmatched_windows,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWindow:
+    def test_contains(self):
+        window = Window(2, 5)
+        assert window.contains(2)
+        assert window.contains(5)
+        assert not window.contains(1)
+        assert not window.contains(6)
+
+    def test_size_and_families(self):
+        window = Window(1, 4)
+        assert window.size == 4
+        assert window.families() == [1, 2, 3, 4]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Window(3, 2)
+        with pytest.raises(ConfigurationError):
+            Window(-1, 2)
+
+
+class TestTheorem1:
+    def test_paper_example(self):
+        """L=128, t=3, s=4: window 0..4 (Section 3.3)."""
+        assert matched_window(7, 3, 4) == Window(0, 4)
+
+    def test_small_lambda_clips(self):
+        """N = min(lambda - t, s): short registers shrink the window."""
+        assert matched_window(5, 3, 4) == Window(2, 4)
+        assert matched_window(3, 3, 4) == Window(4, 4)
+
+    def test_s_clips(self):
+        assert matched_window(10, 3, 3) == Window(0, 3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            matched_window(2, 3, 4)  # lambda < t
+        with pytest.raises(ConfigurationError):
+            matched_window(7, 3, 2)  # s < t
+
+    def test_ordered_window_single_family(self):
+        assert matched_ordered_window(4) == Window(4, 4)
+
+
+class TestTheorem3:
+    def test_paper_example(self):
+        """L=128, T=8, M=64, s=4, y=9: windows [0,4] and [5,9]."""
+        low, high = unmatched_windows(7, 3, 4, 9)
+        assert low == Window(0, 4)
+        assert high == Window(5, 9)
+
+    def test_fused(self):
+        assert fused_unmatched_window(7, 3, 4, 9) == Window(0, 9)
+
+    def test_gap_rejected_by_fuse(self):
+        with pytest.raises(ConfigurationError):
+            fused_unmatched_window(7, 3, 4, 12)
+
+    def test_overlapping_windows_rejected(self):
+        # y too small: y - R < s + 1 violates the paper's partition
+        # assumption.
+        with pytest.raises(ConfigurationError):
+            unmatched_windows(7, 3, 4, 7)
+
+    def test_ordered_window(self):
+        assert unmatched_ordered_window(0, 6, 3) == Window(0, 3)
+        with pytest.raises(ConfigurationError):
+            unmatched_ordered_window(0, 2, 3)
+
+
+class TestRecommendations:
+    def test_recommended_s(self):
+        assert recommended_s(7, 3) == 4
+
+    def test_recommended_y(self):
+        assert recommended_y(7, 3) == 9
+
+    def test_lambda_below_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recommended_s(2, 3)
+
+
+class TestDesigns:
+    def test_matched_design(self):
+        design = MatchedDesign.recommended(7, 3)
+        assert design.s == 4
+        assert design.vector_length == 128
+        assert design.module_count == 8
+        assert design.window() == Window(0, 4)
+        assert design.ordered_window() == Window(4, 4)
+        assert design.mapping().s == 4
+
+    def test_matched_design_small_lambda_keeps_s_legal(self):
+        design = MatchedDesign.recommended(4, 3)
+        assert design.s >= 3  # Eq. (1) needs s >= t
+        assert design.mapping().module_bits == 3
+
+    def test_unmatched_design(self):
+        design = UnmatchedDesign.recommended(7, 3)
+        assert (design.s, design.y) == (4, 9)
+        assert design.module_count == 64
+        assert design.fused_window() == Window(0, 9)
+        low, high = design.windows()
+        assert (low, high) == (Window(0, 4), Window(5, 9))

@@ -1,0 +1,108 @@
+"""Tests for the structural budget primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.datapath import BudgetedAdder, LatchFile, OrderQueue
+
+
+class TestBudgetedAdder:
+    def test_single_use_per_cycle(self):
+        adder = BudgetedAdder("a")
+        adder.new_cycle()
+        assert adder.add(2, 3) == 5
+        with pytest.raises(HardwareModelError):
+            adder.add(1, 1)
+
+    def test_new_cycle_resets(self):
+        adder = BudgetedAdder("a")
+        adder.new_cycle()
+        adder.add(1, 1)
+        adder.new_cycle()
+        assert adder.add(4, 5) == 9
+
+    def test_counts_operations(self):
+        adder = BudgetedAdder("a")
+        for _ in range(5):
+            adder.new_cycle()
+            adder.add(0, 0)
+        assert adder.total_operations == 5
+
+
+class TestLatchFile:
+    def test_write_read_roundtrip(self):
+        bank = LatchFile("bank", 4)
+        bank.write(2, element_index=7, address=99)
+        assert bank.read(2) == (7, 99)
+
+    def test_read_empties_slot(self):
+        bank = LatchFile("bank", 4)
+        bank.write(1, 0, 0)
+        bank.read(1)
+        with pytest.raises(HardwareModelError):
+            bank.read(1)
+
+    def test_double_write_rejected(self):
+        bank = LatchFile("bank", 4)
+        bank.write(0, 0, 0)
+        with pytest.raises(HardwareModelError):
+            bank.write(0, 1, 1)
+
+    def test_label_bounds(self):
+        bank = LatchFile("bank", 4)
+        with pytest.raises(HardwareModelError):
+            bank.write(4, 0, 0)
+        with pytest.raises(HardwareModelError):
+            bank.read(-1)
+
+    def test_occupancy_tracking(self):
+        bank = LatchFile("bank", 4)
+        bank.write(0, 0, 0)
+        bank.write(3, 1, 1)
+        assert bank.occupied == 2
+        assert bank.peak_occupancy == 2
+        bank.read(0)
+        assert bank.occupied == 1
+        assert bank.peak_occupancy == 2
+        assert not bank.is_empty()
+        bank.read(3)
+        assert bank.is_empty()
+
+
+class TestOrderQueue:
+    def test_fill_seal_read(self):
+        queue = OrderQueue(4)
+        for key in (3, 1, 0, 2):
+            queue.push(key)
+        queue.seal()
+        assert queue.keys == (3, 1, 0, 2)
+        assert queue.key_at(0) == 3
+        assert queue.key_at(5) == 1  # cyclic
+
+    def test_overflow_rejected(self):
+        queue = OrderQueue(2)
+        queue.push(0)
+        queue.push(1)
+        with pytest.raises(HardwareModelError):
+            queue.push(2)
+
+    def test_seal_requires_full(self):
+        queue = OrderQueue(3)
+        queue.push(0)
+        with pytest.raises(HardwareModelError):
+            queue.seal()
+
+    def test_read_before_seal_rejected(self):
+        queue = OrderQueue(1)
+        queue.push(0)
+        with pytest.raises(HardwareModelError):
+            queue.key_at(0)
+
+    def test_write_after_seal_rejected(self):
+        queue = OrderQueue(1)
+        queue.push(0)
+        queue.seal()
+        with pytest.raises(HardwareModelError):
+            queue.push(1)

@@ -1,0 +1,126 @@
+"""Tests for the Figure 6 out-of-order engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.errors import OrderingError
+from repro.hardware.oos_engine import Figure6Engine
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.section import SectionXorMapping
+
+
+class TestMatchedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=4),
+        sigma=st.integers(min_value=-9, max_value=9).filter(lambda v: v % 2 != 0),
+        base=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_stream_equals_plan(self, x, sigma, base):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        vector = VectorAccess(base, sigma * (1 << x), 128)
+        plan = planner.plan(vector, mode="conflict_free")
+        engine = Figure6Engine(planner, vector)
+        assert engine.request_stream() == plan.request_stream()
+
+
+class TestUnmatchedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=9),
+        sigma=st.integers(min_value=-9, max_value=9).filter(lambda v: v % 2 != 0),
+        base=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_stream_equals_plan(self, x, sigma, base):
+        planner = AccessPlanner(SectionXorMapping(3, 4, 9), 3)
+        vector = VectorAccess(base, sigma * (1 << x), 128)
+        plan = planner.plan(vector, mode="conflict_free")
+        engine = Figure6Engine(planner, vector)
+        assert engine.request_stream() == plan.request_stream()
+
+
+class TestResourceBudgets:
+    def test_latch_capacity_respected(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        for family in range(5):
+            engine = Figure6Engine(
+                planner, VectorAccess(99, 3 * (1 << family), 128)
+            )
+            report = engine.report()
+            assert report.latch_capacity == 16  # 2 * 2**t
+            assert report.latch_peak_occupancy <= 8  # one bank's worth
+
+    def test_one_cycle_per_request(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        engine = Figure6Engine(planner, VectorAccess(0, 12, 128))
+        stream = engine.run()
+        assert [produced.cycle for produced in stream] == list(range(1, 129))
+
+    def test_generator1_only_first_subsequence(self):
+        """'One of them is only used in the first 2**t cycles'."""
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        engine = Figure6Engine(planner, VectorAccess(0, 12, 128))
+        report = engine.report()
+        # Address + register adds of generator 1: bounded by 2 * 2**t.
+        assert report.generator1_adds <= 2 * 8
+
+    def test_single_subsequence_vector_uses_no_latches(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        # Family x = s: the chunk is one subsequence; with L = 2**t... use
+        # L=8, one subsequence total.
+        engine = Figure6Engine(planner, VectorAccess(5, 16, 8))
+        report = engine.report()
+        assert report.latch_peak_occupancy == 0
+        assert report.generator2_adds == 0
+
+
+class TestErrors:
+    def test_outside_window_raises(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        with pytest.raises(OrderingError):
+            Figure6Engine(planner, VectorAccess(0, 1 << 6, 128))
+
+    def test_bad_length_raises(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        with pytest.raises(OrderingError):
+            Figure6Engine(planner, VectorAccess(0, 12, 100))
+
+
+class TestRunIsCached:
+    def test_second_run_returns_same_object(self):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        engine = Figure6Engine(planner, VectorAccess(0, 12, 128))
+        assert engine.run() is engine.run()
+
+
+class TestOtherGeometries:
+    """The engine is geometry-generic: t=2 and t=4 machines."""
+
+    @pytest.mark.parametrize(
+        "t,s,length", [(2, 3, 32), (2, 4, 64), (4, 5, 512), (4, 4, 256)]
+    )
+    def test_matched_geometries(self, t, s, length):
+        planner = AccessPlanner(MatchedXorMapping(t, s), t)
+        for family in range(min(s, 3) + 1):
+            vector = VectorAccess(99, 3 * (1 << family), length)
+            try:
+                plan = planner.plan(vector, mode="conflict_free")
+            except OrderingError:
+                continue  # outside this geometry's window
+            engine = Figure6Engine(planner, vector)
+            assert engine.request_stream() == plan.request_stream()
+            report = engine.report()
+            assert report.latch_capacity == 2 * (1 << t)
+
+    def test_figure7_geometry(self):
+        planner = AccessPlanner(SectionXorMapping(2, 3, 7), 2)
+        for family in range(8):
+            vector = VectorAccess(6, 1 << family, 32)
+            plan = planner.plan(vector, mode="conflict_free")
+            engine = Figure6Engine(planner, vector)
+            assert engine.request_stream() == plan.request_stream()

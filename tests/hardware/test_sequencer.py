@@ -1,0 +1,98 @@
+"""Tests for the Figure 4/5 address generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orderings import subsequence_order
+from repro.core.subsequences import build_subsequences
+from repro.core.vector import VectorAccess
+from repro.errors import HardwareModelError
+from repro.hardware.sequencer import (
+    Figure5AddressGenerator,
+    natural_order_stream,
+    ordered_generator_stream,
+)
+
+
+class TestEquivalenceWithAbstractOrder:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=4),
+        sigma=st.integers(min_value=-9, max_value=9).filter(lambda v: v % 2 != 0),
+        base=st.integers(min_value=-1000, max_value=100000),
+    )
+    def test_stream_equals_subsequence_order(self, x, sigma, base):
+        vector = VectorAccess(base, sigma * (1 << x), 128)
+        plan = build_subsequences(vector, w=4, t=3)
+        hardware = [
+            (produced.element_index, produced.address)
+            for produced in Figure5AddressGenerator(plan).run()
+        ]
+        abstract = [
+            (index, vector.address_of(index))
+            for index in subsequence_order(plan).indices
+        ]
+        assert hardware == abstract
+
+    def test_one_request_per_cycle(self):
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        stream = Figure5AddressGenerator(plan).run()
+        assert [produced.cycle for produced in stream] == list(range(1, 65))
+
+
+class TestStartOffset:
+    def test_start_at_second_subsequence(self):
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        generator = Figure5AddressGenerator(plan, start_subsequence=1)
+        stream = generator.run()
+        # Should produce everything except the first subsequence.
+        expected = subsequence_order(plan).indices[8:]
+        assert tuple(produced.element_index for produced in stream) == expected
+
+    def test_bad_offset_rejected(self):
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        with pytest.raises(HardwareModelError):
+            Figure5AddressGenerator(plan, start_subsequence=8)
+
+    def test_step_after_done_rejected(self):
+        vector = VectorAccess(0, 8, 8)  # single subsequence
+        plan = build_subsequences(vector, w=3, t=3)
+        generator = Figure5AddressGenerator(plan)
+        generator.run()
+        with pytest.raises(HardwareModelError):
+            generator.step()
+
+
+class TestAdderBudget:
+    def test_total_adds_bounded_by_stream_length(self):
+        """One address add per emitted element (minus the preloaded first)."""
+        vector = VectorAccess(16, 12, 128)
+        plan = build_subsequences(vector, w=4, t=3)
+        generator = Figure5AddressGenerator(plan)
+        generator.run()
+        assert generator.adder.total_operations <= 128
+        assert generator.reg_adder.total_operations <= 128
+
+
+class TestOrderedGenerator:
+    def test_stream_is_canonical(self):
+        vector = VectorAccess(5, 7, 32)
+        stream = ordered_generator_stream(vector)
+        assert [(p.element_index, p.address) for p in stream] == [
+            (i, 5 + 7 * i) for i in range(32)
+        ]
+
+    def test_natural_order_helper(self):
+        vector = VectorAccess(16, 12, 64)
+        plan = build_subsequences(vector, w=3, t=3)
+        helper = natural_order_stream(vector, 3, 3)
+        direct = Figure5AddressGenerator(plan).run()
+        assert [(p.element_index, p.address) for p in helper] == [
+            (p.element_index, p.address) for p in direct
+        ]

@@ -1,0 +1,99 @@
+"""Tests for the mapping base utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mappings.base import (
+    bit_field,
+    empirical_period,
+    is_power_of_two,
+)
+from repro.mappings.interleaved import LowOrderInterleaved
+from repro.mappings.linear import MatchedXorMapping
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, -8, 3, 5, 6, 7, 12, 100):
+            assert not is_power_of_two(value)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_matches_bit_count(self, value):
+        assert is_power_of_two(value) == (bin(value).count("1") == 1)
+
+
+class TestBitField:
+    def test_basic_extraction(self):
+        assert bit_field(0b110100, 2, 3) == 0b101
+
+    def test_zero_width(self):
+        assert bit_field(0xFFFF, 4, 0) == 0
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError):
+            bit_field(1, -1, 2)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=28),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_agrees_with_shift_mask(self, value, low, width):
+        assert bit_field(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+
+class TestMappingBasics:
+    def test_module_count(self):
+        assert LowOrderInterleaved(3).module_count == 8
+
+    def test_reduce_wraps(self):
+        mapping = LowOrderInterleaved(3, address_bits=8)
+        assert mapping.reduce(256) == 0
+        assert mapping.reduce(257) == 1
+        assert mapping.reduce(-1) == 255
+
+    def test_bad_module_bits(self):
+        with pytest.raises(ConfigurationError):
+            LowOrderInterleaved(-1)
+
+    def test_address_bits_must_cover_modules(self):
+        with pytest.raises(ConfigurationError):
+            LowOrderInterleaved(8, address_bits=4)
+
+    def test_module_sequence_matches_pointwise(self):
+        mapping = MatchedXorMapping(3, 4)
+        sequence = mapping.module_sequence(100, 12, 20)
+        assert sequence == [
+            mapping.module_of(mapping.reduce(100 + 12 * i)) for i in range(20)
+        ]
+
+
+class TestEmpiricalPeriod:
+    def test_matches_analytic_for_xor(self):
+        mapping = MatchedXorMapping(3, 4, address_bits=16)
+        for family in range(6):
+            stride = 1 << family
+            assert empirical_period(mapping, stride) == mapping.period(family)
+
+    def test_low_order_interleaving(self):
+        mapping = LowOrderInterleaved(3, address_bits=16)
+        assert empirical_period(mapping, 1) == 8
+        assert empirical_period(mapping, 2) == 4
+        assert empirical_period(mapping, 8) == 1
+
+    def test_odd_sigma_same_period(self):
+        mapping = MatchedXorMapping(3, 4, address_bits=16)
+        assert empirical_period(mapping, 3 * 4) == mapping.period(2)
+
+    def test_default_period_uses_empirical(self):
+        # The ABC's default period() measures; spot-check consistency.
+        mapping = LowOrderInterleaved(2, address_bits=12)
+        assert mapping.period(0) == 4

@@ -1,0 +1,46 @@
+"""Tests for the per-stride dynamic scheme baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import is_conflict_free
+from repro.errors import ConfigurationError
+from repro.mappings.dynamic import DynamicSchemeSelector
+
+
+class TestMappingForStride:
+    def test_own_family_is_conflict_free(self):
+        selector = DynamicSchemeSelector(3)
+        for stride in (1, 3, 6, 12, 40, 96):
+            mapping = selector.mapping_for_stride(stride)
+            modules = mapping.module_sequence(5, stride, 64)
+            assert is_conflict_free(modules, 8), stride
+
+    def test_field_position_follows_family(self):
+        selector = DynamicSchemeSelector(3)
+        assert selector.mapping_for_stride(1).s == 0
+        assert selector.mapping_for_stride(12).s == 2
+        assert selector.mapping_for_stride(96).s == 5
+
+    def test_out_of_space_family_rejected(self):
+        selector = DynamicSchemeSelector(3, address_bits=16)
+        with pytest.raises(ConfigurationError):
+            selector.mapping_for_stride(1 << 15)
+
+
+class TestCrossPenalty:
+    def test_other_family_conflicts(self):
+        """An array stored for stride 8 accessed with stride 1 conflicts."""
+        selector = DynamicSchemeSelector(3)
+        modules = selector.cross_penalty_sequence(
+            stored_for=8, accessed_with=64, start=0, length=64
+        )
+        assert not is_conflict_free(modules, 8)
+
+    def test_same_family_is_fine(self):
+        selector = DynamicSchemeSelector(3)
+        modules = selector.cross_penalty_sequence(
+            stored_for=8, accessed_with=24, start=3, length=64
+        )
+        assert is_conflict_free(modules, 8)

@@ -1,0 +1,91 @@
+"""Tests for conventional and field interleaving."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distributions import is_conflict_free
+from repro.errors import ConfigurationError
+from repro.mappings.interleaved import FieldInterleaved, LowOrderInterleaved
+
+
+class TestLowOrderInterleaved:
+    def test_module_is_low_bits(self):
+        mapping = LowOrderInterleaved(3)
+        assert [mapping.module_of(a) for a in range(10)] == [
+            0, 1, 2, 3, 4, 5, 6, 7, 0, 1,
+        ]
+
+    def test_displacement_is_row(self):
+        mapping = LowOrderInterleaved(3)
+        assert mapping.displacement_of(8) == 1
+        assert mapping.displacement_of(17) == 2
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_bijection(self, address):
+        mapping = LowOrderInterleaved(3, address_bits=16)
+        module, displacement = mapping.map(address)
+        assert (displacement << 3) | module == address
+
+    def test_odd_strides_conflict_free(self):
+        mapping = LowOrderInterleaved(3)
+        for stride in (1, 3, 5, 7, 9, 11):
+            modules = mapping.module_sequence(13, stride, 64)
+            assert is_conflict_free(modules, 8)
+
+    def test_even_strides_conflict(self):
+        mapping = LowOrderInterleaved(3)
+        for stride in (2, 4, 8, 6):
+            modules = mapping.module_sequence(0, stride, 64)
+            assert not is_conflict_free(modules, 8)
+
+    def test_period(self):
+        mapping = LowOrderInterleaved(3)
+        assert mapping.period(0) == 8
+        assert mapping.period(2) == 2
+        assert mapping.period(3) == 1
+        assert mapping.period(5) == 1
+
+
+class TestFieldInterleaved:
+    def test_module_is_field(self):
+        mapping = FieldInterleaved(3, 4)
+        assert mapping.module_of(0b0110000) == 0b011
+        assert mapping.module_of(0xF) == 0
+
+    def test_field_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            FieldInterleaved(3, 30, address_bits=32)
+
+    def test_negative_s_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FieldInterleaved(3, -1)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_bijection(self, address):
+        mapping = FieldInterleaved(3, 5, address_bits=16)
+        module, displacement = mapping.map(address)
+        low = displacement & 0b11111
+        high = displacement >> 5
+        reconstructed = (high << 8) | (module << 5) | low
+        assert reconstructed == address
+
+    def test_family_s_conflict_free_in_order(self):
+        mapping = FieldInterleaved(3, 4)
+        for sigma in (1, 3, 5):
+            modules = mapping.module_sequence(77, sigma * 16, 64)
+            assert is_conflict_free(modules, 8)
+
+    def test_period_formula(self):
+        mapping = FieldInterleaved(3, 4)
+        assert mapping.period(0) == 128
+        assert mapping.period(4) == 8
+        assert mapping.period(7) == 1
+
+    def test_s_zero_equals_low_order(self):
+        field = FieldInterleaved(3, 0)
+        low = LowOrderInterleaved(3)
+        for address in range(0, 1000, 7):
+            assert field.module_of(address) == low.module_of(address)

@@ -1,0 +1,113 @@
+"""Tests for the matched XOR mapping of Eq. (1), including Figure 3."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mappings.linear import MatchedXorMapping
+
+#: Figure 3 of the paper, rows 0..8: entry [row][module] = address.
+FIGURE3 = [
+    [0, 1, 2, 3, 4, 5, 6, 7],
+    [9, 8, 11, 10, 13, 12, 15, 14],
+    [18, 19, 16, 17, 22, 23, 20, 21],
+    [27, 26, 25, 24, 31, 30, 29, 28],
+    [36, 37, 38, 39, 32, 33, 34, 35],
+    [45, 44, 47, 46, 41, 40, 43, 42],
+    [54, 55, 52, 53, 50, 51, 48, 49],
+    [63, 62, 61, 60, 59, 58, 57, 56],
+    [64, 65, 66, 67, 68, 69, 70, 71],
+]
+
+
+class TestFigure3:
+    def test_layout_matches_paper(self, figure3_mapping):
+        for row, expected in enumerate(FIGURE3):
+            by_module = {}
+            for address in range(row * 8, row * 8 + 8):
+                by_module[figure3_mapping.module_of(address)] = address
+            assert [by_module[b] for b in range(8)] == expected
+
+    def test_each_group_of_eight_covers_all_modules(self, figure3_mapping):
+        for row in range(64):
+            modules = {
+                figure3_mapping.module_of(address)
+                for address in range(row * 8, row * 8 + 8)
+            }
+            assert modules == set(range(8))
+
+
+class TestConstruction:
+    def test_s_must_be_at_least_t(self):
+        with pytest.raises(ConfigurationError):
+            MatchedXorMapping(3, 2)
+
+    def test_s_equal_t_allowed(self):
+        MatchedXorMapping(3, 3)
+
+    def test_field_must_fit_address_space(self):
+        with pytest.raises(ConfigurationError):
+            MatchedXorMapping(3, 30, address_bits=32)
+
+    def test_t_alias(self):
+        assert MatchedXorMapping(3, 4).t == 3
+
+
+class TestModuleFormula:
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_matches_xor_of_fields(self, address):
+        mapping = MatchedXorMapping(3, 4)
+        low = address & 0b111
+        high = (address >> 4) & 0b111
+        assert mapping.module_of(address) == low ^ high
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_bijection(self, address):
+        mapping = MatchedXorMapping(3, 4, address_bits=16)
+        module, displacement = mapping.map(address)
+        assert mapping.address_of(module, displacement) == address
+
+    def test_all_cells_distinct_small_space(self):
+        mapping = MatchedXorMapping(2, 3, address_bits=10)
+        cells = {mapping.map(a) for a in range(1 << 10)}
+        assert len(cells) == 1 << 10
+
+
+class TestPeriod:
+    def test_period_formula(self):
+        mapping = MatchedXorMapping(3, 4)
+        assert mapping.period(0) == 128
+        assert mapping.period(4) == 8
+        assert mapping.period(7) == 1
+        assert mapping.period(10) == 1
+
+    def test_canonical_distribution_is_periodic(self):
+        mapping = MatchedXorMapping(3, 4, address_bits=20)
+        for family, sigma, base in [(0, 3, 17), (2, 5, 4), (4, 1, 99)]:
+            stride = sigma * (1 << family)
+            period = mapping.period(family)
+            sequence = mapping.module_sequence(base, stride, 3 * period)
+            assert sequence[:period] * 3 == sequence
+
+
+class TestOrderedConflictFreedom:
+    def test_family_s_is_conflict_free_in_order(self):
+        """Harper's result: ordered access conflict-free for x = s only."""
+        from repro.core.distributions import is_conflict_free
+
+        mapping = MatchedXorMapping(3, 4)
+        for sigma in (1, 3, 5):
+            for base in (0, 7, 1000):
+                modules = mapping.module_sequence(base, sigma * 16, 128)
+                assert is_conflict_free(modules, 8)
+
+    def test_other_families_conflict_in_order(self):
+        from repro.core.distributions import is_conflict_free
+
+        mapping = MatchedXorMapping(3, 4)
+        for family in (0, 1, 2, 3, 5):
+            modules = mapping.module_sequence(16, 3 * (1 << family), 128)
+            assert not is_conflict_free(modules, 8)

@@ -1,0 +1,124 @@
+"""Tests for the unmatched section mapping of Eq. (2), including Figure 7."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mappings.section import SectionXorMapping
+
+
+class TestConstruction:
+    def test_requires_s_at_least_t(self):
+        with pytest.raises(ConfigurationError):
+            SectionXorMapping(t=3, s=2, y=9)
+
+    def test_requires_y_at_least_s_plus_t(self):
+        with pytest.raises(ConfigurationError):
+            SectionXorMapping(t=3, s=4, y=6)
+
+    def test_requires_positive_t(self):
+        with pytest.raises(ConfigurationError):
+            SectionXorMapping(t=0, s=1, y=2)
+
+    def test_section_field_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            SectionXorMapping(t=3, s=4, y=30, address_bits=32)
+
+    def test_module_count_is_t_squared(self):
+        mapping = SectionXorMapping(t=3, s=4, y=9)
+        assert mapping.module_count == 64
+        assert mapping.section_count == 8
+        assert mapping.modules_per_section == 8
+
+
+class TestFigure7:
+    """Checks against the Figure 7 layout (t=2, m=4, s=3, y=7)."""
+
+    def test_low_addresses_match_eq2(self, figure7_mapping):
+        # Below address 128 (= 2**y) the section is 0 and the module is
+        # the XOR of the low 2 bits with bits 3..4.
+        for address in range(128):
+            low = (address & 3) ^ ((address >> 3) & 3)
+            assert figure7_mapping.module_of(address) == low
+
+    def test_block_sectioning(self, figure7_mapping):
+        # Address blocks of 2**y = 128 words rotate through sections.
+        for address, section in [(0, 0), (128, 1), (256, 2), (384, 3), (512, 0)]:
+            assert figure7_mapping.section_of(address) == section
+
+    def test_italic_vector_modules(self, figure7_mapping):
+        # The lambda=5, A1=6, S=16 vector of Figure 7: elements 0,8,16,24
+        # land in modules 2,6,10,14 (Section 4.1's first example).
+        addresses = [6 + 16 * i for i in (0, 8, 16, 24)]
+        modules = [figure7_mapping.module_of(a) for a in addresses]
+        assert modules == [2, 6, 10, 14]
+
+    def test_second_example_modules(self, figure7_mapping):
+        # x=6, sigma=3, A1=0: elements 0,2,4,6 -> modules 0,12,8,4.
+        addresses = [0 + 192 * i for i in (0, 2, 4, 6)]
+        modules = [figure7_mapping.module_of(a) for a in addresses]
+        assert modules == [0, 12, 8, 4]
+
+    def test_figure7_specific_cells(self, figure7_mapping):
+        # Spot cells read directly off the figure's rows: "9 8 11 10"
+        # puts address 9 in module 0 and 8 in module 1; "18 19 16 17"
+        # puts 18 in module 0 and 16 in module 2; "27 26 25 24" puts 24
+        # in module 3.
+        assert figure7_mapping.module_of(9) == 0
+        assert figure7_mapping.module_of(8) == 1
+        assert figure7_mapping.module_of(18) == 0
+        assert figure7_mapping.module_of(16) == 2
+        assert figure7_mapping.module_of(24) == 3
+        # Block 4 (addresses 512..639) wraps back to section 0, so
+        # "512 513 514 515" repeats the pattern of addresses 0..3.
+        assert figure7_mapping.module_of(512) == 0
+        assert figure7_mapping.module_of(513) == 1
+
+
+class TestFields:
+    def test_supermodule_is_address_field(self):
+        mapping = SectionXorMapping(t=3, s=4, y=9)
+        for address in (0, 16, 23, 100, 999, 2**20 + 5):
+            assert mapping.supermodule_of(address) == (address >> 4) & 7
+
+    def test_module_within_section_consistent(self):
+        mapping = SectionXorMapping(t=3, s=4, y=9)
+        for address in range(0, 4096, 7):
+            module = mapping.module_of(address)
+            assert mapping.module_within_section(address) == module & 7
+            assert mapping.section_of(address) == module >> 3
+
+    @given(st.integers(min_value=0, max_value=2**18 - 1))
+    def test_bijection(self, address):
+        mapping = SectionXorMapping(t=3, s=4, y=9, address_bits=18)
+        module, displacement = mapping.map(address)
+        assert mapping.address_of(module, displacement) == address
+
+    def test_all_cells_distinct_small_space(self):
+        mapping = SectionXorMapping(t=2, s=2, y=4, address_bits=9)
+        cells = {mapping.map(a) for a in range(1 << 9)}
+        assert len(cells) == 1 << 9
+
+
+class TestPeriods:
+    def test_outer_period(self):
+        mapping = SectionXorMapping(t=3, s=4, y=9)
+        assert mapping.period(0) == 1 << 12
+        assert mapping.period(9) == 8
+        assert mapping.period(13) == 1
+
+    def test_inner_period(self):
+        mapping = SectionXorMapping(t=3, s=4, y=9)
+        assert mapping.inner_period(0) == 128
+        assert mapping.inner_period(4) == 8
+        assert mapping.inner_period(8) == 1
+
+    def test_canonical_distribution_periodicity(self):
+        mapping = SectionXorMapping(t=2, s=3, y=7, address_bits=20)
+        for family in (3, 5, 7):
+            period = mapping.period(family)
+            sequence = mapping.module_sequence(6, 1 << family, 2 * period)
+            assert sequence[:period] * 2 == sequence

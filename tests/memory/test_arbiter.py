@@ -1,0 +1,63 @@
+"""Tests for the result-bus arbiters."""
+
+from __future__ import annotations
+
+from repro.memory.arbiter import FifoArbiter, RoundRobinArbiter
+from repro.memory.module import InFlightRequest, MemoryModule
+
+
+def module_with_ready(index: int, ready: int) -> MemoryModule:
+    module = MemoryModule(index, 2, 1, 2)
+    request = InFlightRequest(element_index=index, address=0, module=index)
+    module.output_queue.append((ready, request))
+    return module
+
+
+def empty_module(index: int) -> MemoryModule:
+    return MemoryModule(index, 2, 1, 1)
+
+
+class TestFifoArbiter:
+    def test_oldest_first(self):
+        modules = [
+            module_with_ready(0, ready=5),
+            module_with_ready(1, ready=3),
+            empty_module(2),
+        ]
+        assert FifoArbiter().grant(modules, cycle=6) == 1
+
+    def test_tie_breaks_by_module_index(self):
+        modules = [module_with_ready(0, 4), module_with_ready(1, 4)]
+        assert FifoArbiter().grant(modules, cycle=5) == 0
+
+    def test_none_when_nothing_ready(self):
+        modules = [empty_module(0), empty_module(1)]
+        assert FifoArbiter().grant(modules, cycle=9) is None
+
+    def test_not_ready_yet_skipped(self):
+        modules = [module_with_ready(0, ready=9)]
+        assert FifoArbiter().grant(modules, cycle=8) is None
+        assert FifoArbiter().grant(modules, cycle=9) == 0
+
+
+class TestRoundRobinArbiter:
+    def test_rotates(self):
+        arbiter = RoundRobinArbiter()
+        modules = [module_with_ready(0, 1), module_with_ready(1, 1)]
+        first = arbiter.grant(modules, cycle=2)
+        assert first == 0
+        # Re-arm module 0's queue to keep both ready.
+        modules[0] = module_with_ready(0, 1)
+        second = arbiter.grant(modules, cycle=3)
+        assert second == 1
+
+    def test_wraps_past_end(self):
+        arbiter = RoundRobinArbiter()
+        modules = [module_with_ready(0, 1), empty_module(1)]
+        assert arbiter.grant(modules, cycle=2) == 0
+        modules[0] = module_with_ready(0, 1)
+        assert arbiter.grant(modules, cycle=3) == 0
+
+    def test_none_when_empty(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.grant([empty_module(0)], cycle=5) is None

@@ -1,0 +1,60 @@
+"""Tests for the memory-subsystem configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mappings.linear import MatchedXorMapping
+from repro.memory.config import MemoryConfig
+
+
+class TestValidation:
+    def test_negative_t(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(MatchedXorMapping(3, 4), -1)
+
+    def test_too_few_modules(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(MatchedXorMapping(3, 4), 4)
+
+    def test_zero_input_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(MatchedXorMapping(3, 4), 3, input_capacity=0)
+
+    def test_zero_output_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(MatchedXorMapping(3, 4), 3, output_capacity=0)
+
+
+class TestProperties:
+    def test_service_ratio(self, matched_config):
+        assert matched_config.service_ratio == 8
+
+    def test_matched_detection(self, matched_config, section_config):
+        assert matched_config.is_matched
+        assert not section_config.is_matched
+
+    def test_module_count(self, section_config):
+        assert section_config.module_count == 64
+
+    def test_describe_mentions_geometry(self, matched_config):
+        text = matched_config.describe()
+        assert "M=8" in text and "T=8" in text
+
+
+class TestConstructors:
+    def test_matched_constructor(self):
+        config = MemoryConfig.matched(t=3, s=4)
+        assert config.module_count == 8
+        assert config.mapping.s == 4
+
+    def test_unmatched_constructor(self):
+        config = MemoryConfig.unmatched(t=3, s=4, y=9)
+        assert config.module_count == 64
+        assert config.mapping.y == 9
+
+    def test_buffer_parameters_forwarded(self):
+        config = MemoryConfig.matched(t=3, s=4, input_capacity=2, output_capacity=3)
+        assert config.input_capacity == 2
+        assert config.output_capacity == 3

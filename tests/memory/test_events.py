@@ -1,0 +1,105 @@
+"""Tests for the structured event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.memory.config import MemoryConfig
+from repro.memory.events import Event, EventKind, EventLog
+from repro.memory.system import MemorySystem
+
+
+@pytest.fixture
+def cf_log(matched_planner, matched_system):
+    plan = matched_planner.plan(VectorAccess(16, 12, 64))
+    return EventLog.from_result(matched_system.run_plan(plan))
+
+
+@pytest.fixture
+def conflicting_log():
+    config = MemoryConfig.matched(t=3, s=4, input_capacity=4)
+    planner = AccessPlanner(config.mapping, 3)
+    plan = planner.plan(VectorAccess(0, 128, 32), mode="ordered")
+    return EventLog.from_result(MemorySystem(config).run_plan(plan))
+
+
+class TestConstruction:
+    def test_five_events_per_request(self, cf_log):
+        assert len(cf_log) == 5 * 64
+
+    def test_events_sorted(self, cf_log):
+        cycles = [event.cycle for event in cf_log.events]
+        assert cycles == sorted(cycles)
+
+
+class TestLifecycleShape:
+    def test_element_lifecycle_order(self, cf_log):
+        for element in (0, 17, 63):
+            events = cf_log.for_element(element)
+            kinds = [event.kind for event in events]
+            assert kinds == [
+                EventKind.ISSUE,
+                EventKind.ARRIVE,
+                EventKind.START,
+                EventKind.FINISH,
+                EventKind.DELIVER,
+            ]
+            cycles = [event.cycle for event in events]
+            # issue+1 = arrive = start; finish = start+T-1; deliver = +1.
+            assert cycles[1] == cycles[0] + 1
+            assert cycles[2] == cycles[1]  # conflict-free: no waiting
+            assert cycles[3] == cycles[2] + 8 - 1
+            assert cycles[4] == cycles[3] + 1
+
+    def test_one_issue_per_cycle(self, cf_log):
+        issues = cf_log.of_kind(EventKind.ISSUE)
+        assert [event.cycle for event in issues] == list(range(1, 65))
+
+    def test_delivery_span(self, cf_log):
+        assert cf_log.delivery_span() == (10, 73)
+
+
+class TestQueueQueries:
+    def test_no_queueing_when_conflict_free(self, cf_log):
+        for module in range(8):
+            assert cf_log.peak_queue_depth(module) == 0
+
+    def test_queueing_when_serialised(self, conflicting_log):
+        # All 32 requests hit one module through q=4 buffers.
+        hot_module = conflicting_log.events[0].module
+        assert conflicting_log.peak_queue_depth(hot_module) >= 2
+
+    def test_queue_depth_at_specific_cycle(self, conflicting_log):
+        hot_module = conflicting_log.events[0].module
+        depths = [
+            conflicting_log.queue_depth_at(hot_module, cycle)
+            for cycle in range(1, 40)
+        ]
+        assert max(depths) == conflicting_log.peak_queue_depth(hot_module)
+
+
+class TestQueriesAndExport:
+    def test_at_cycle(self, cf_log):
+        # Cycle 10: first delivery plus later requests' other stages.
+        kinds = {event.kind for event in cf_log.at_cycle(10)}
+        assert EventKind.DELIVER in kinds
+
+    def test_for_module_filters(self, cf_log):
+        for module in range(8):
+            assert all(
+                event.module == module for event in cf_log.for_module(module)
+            )
+
+    def test_csv_export(self, cf_log):
+        csv = cf_log.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "cycle,kind,module,element"
+        assert len(lines) == 1 + len(cf_log)
+        assert lines[1].count(",") == 3
+
+    def test_event_ordering_dataclass(self):
+        early = Event(1, 0, 0, EventKind.ISSUE)
+        late = Event(2, 0, 0, EventKind.ARRIVE)
+        assert early < late

@@ -1,0 +1,69 @@
+"""Tests for derived simulation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.memory.config import MemoryConfig
+from repro.memory.metrics import (
+    access_efficiency,
+    cycles_per_element,
+    module_load_balance,
+    streaming_efficiency,
+    summarise_population,
+)
+from repro.memory.system import MemorySystem
+
+
+@pytest.fixture
+def cf_result(matched_planner, matched_system):
+    plan = matched_planner.plan(VectorAccess(16, 12, 128))
+    return matched_system.run_plan(plan)
+
+
+@pytest.fixture
+def conflicting_result():
+    config = MemoryConfig.matched(t=3, s=4, input_capacity=4)
+    planner = AccessPlanner(config.mapping, 3)
+    plan = planner.plan(VectorAccess(0, 128, 64), mode="ordered")
+    return MemorySystem(config).run_plan(plan)
+
+
+class TestSingleAccessMetrics:
+    def test_conflict_free_is_unit_efficiency(self, cf_result):
+        assert access_efficiency(cf_result, 8) == 1.0
+        assert streaming_efficiency(cf_result, 8) == 1.0
+        assert cycles_per_element(cf_result, 8) == 1.0
+
+    def test_serialised_access_costs_t(self, conflicting_result):
+        assert cycles_per_element(conflicting_result, 8) == pytest.approx(
+            8.0, rel=0.1
+        )
+        assert streaming_efficiency(conflicting_result, 8) == pytest.approx(
+            1 / 8, rel=0.1
+        )
+
+
+class TestPopulationSummary:
+    def test_aggregation(self, cf_result, conflicting_result):
+        summary = summarise_population([cf_result, conflicting_result], 8)
+        assert summary.accesses == 2
+        assert summary.total_elements == 128 + 64
+        assert summary.conflict_free_accesses == 1
+        assert summary.conflict_free_fraction == 0.5
+        assert 0 < summary.efficiency < 1
+
+    def test_empty_population(self):
+        summary = summarise_population([], 8)
+        assert summary.efficiency == 0.0
+        assert summary.conflict_free_fraction == 0.0
+
+
+class TestLoadBalance:
+    def test_even_for_conflict_free(self, cf_result):
+        assert module_load_balance(cf_result) == 1.0
+
+    def test_skewed_for_clustered(self, conflicting_result):
+        assert module_load_balance(conflicting_result) == pytest.approx(8.0)

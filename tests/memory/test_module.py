@@ -1,0 +1,113 @@
+"""Tests for the single-module state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.module import InFlightRequest, MemoryModule
+
+
+def make_request(element: int = 0, module: int = 0) -> InFlightRequest:
+    return InFlightRequest(element_index=element, address=element, module=module)
+
+
+class TestQueueing:
+    def test_accept_respects_capacity(self):
+        module = MemoryModule(0, service_time=4, input_capacity=1, output_capacity=1)
+        first = make_request(0)
+        first.arrival_cycle = 1
+        module.accept(first)
+        assert not module.can_accept()
+        with pytest.raises(SimulationError):
+            module.accept(make_request(1))
+
+    def test_service_waits_for_arrival(self):
+        module = MemoryModule(0, 4, 2, 1)
+        request = make_request()
+        request.arrival_cycle = 5
+        module.accept(request)
+        module.try_start(4)
+        assert module.in_service is None
+        module.try_start(5)
+        assert module.in_service is request
+        assert request.start_cycle == 5
+        assert request.finish_cycle == 8
+
+
+class TestServiceLifecycle:
+    def test_full_cycle(self):
+        module = MemoryModule(0, 2, 1, 1)
+        request = make_request()
+        request.arrival_cycle = 1
+        module.accept(request)
+        module.try_start(1)
+        module.try_finish(1)  # not done yet (finish at 2)
+        assert module.in_service is request
+        module.try_finish(2)
+        assert module.in_service is None
+        deliverable = module.peek_deliverable(3)
+        assert deliverable is not None and deliverable[1] is request
+
+    def test_result_not_deliverable_same_cycle(self):
+        module = MemoryModule(0, 2, 1, 1)
+        request = make_request()
+        request.arrival_cycle = 1
+        module.accept(request)
+        module.try_start(1)
+        module.try_finish(2)
+        assert module.peek_deliverable(2) is None
+        assert module.peek_deliverable(3) is not None
+
+    def test_output_backpressure_blocks_start(self):
+        module = MemoryModule(0, 1, 2, 1)
+        first, second = make_request(0), make_request(1)
+        first.arrival_cycle = second.arrival_cycle = 1
+        module.accept(first)
+        module.accept(second)
+        module.try_start(1)
+        module.try_finish(1)  # T=1: finishes immediately, output holds 1
+        module.try_start(2)
+        module.try_finish(2)  # second finishes; output full -> blocked
+        assert module.blocked_result is second
+        module.try_start(3)
+        assert module.in_service is None  # blocked result stalls the module
+        module.pop_deliverable()
+        module.try_finish(3)  # blocked result drains into output
+        assert module.blocked_result is None
+
+    def test_pop_empty_raises(self):
+        module = MemoryModule(0, 1, 1, 1)
+        with pytest.raises(SimulationError):
+            module.pop_deliverable()
+
+
+class TestRequestRecord:
+    def test_waited_property(self):
+        request = make_request()
+        request.arrival_cycle = 3
+        request.start_cycle = 3
+        assert not request.waited
+        request.start_cycle = 5
+        assert request.waited
+
+    def test_incomplete_timing_raises(self):
+        request = make_request()
+        with pytest.raises(SimulationError):
+            _ = request.waited
+        with pytest.raises(SimulationError):
+            _ = request.latency
+
+    def test_latency(self):
+        request = make_request()
+        request.issue_cycle = 2
+        request.delivery_cycle = 12
+        assert request.latency == 11
+
+    def test_idle_flag(self):
+        module = MemoryModule(0, 2, 1, 1)
+        assert module.idle
+        request = make_request()
+        request.arrival_cycle = 1
+        module.accept(request)
+        assert not module.idle

@@ -1,0 +1,45 @@
+"""Tests for the ASCII timeline renderer."""
+
+from __future__ import annotations
+
+from repro.core.vector import VectorAccess
+from repro.memory.trace import describe_result, render_timeline
+
+
+class TestRenderTimeline:
+    def test_dimensions(self, matched_planner, matched_system):
+        plan = matched_planner.plan(VectorAccess(16, 12, 32))
+        result = matched_system.run_plan(plan)
+        chart = render_timeline(result, module_count=8)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # header + 8 modules
+        assert lines[1].startswith("mod   0")
+
+    def test_clipping(self, matched_planner, matched_system):
+        plan = matched_planner.plan(VectorAccess(16, 12, 128))
+        result = matched_system.run_plan(plan)
+        chart = render_timeline(result, module_count=8, max_cycles=40)
+        assert "clipped" in chart
+
+    def test_busy_cells_marked(self, matched_planner, matched_system):
+        plan = matched_planner.plan(VectorAccess(0, 1, 16))
+        result = matched_system.run_plan(plan)
+        chart = render_timeline(result, module_count=8)
+        # Every module row must show some service activity.
+        for line in chart.splitlines()[1:]:
+            assert any(ch.isdigit() for ch in line[8:])
+
+
+class TestDescribeResult:
+    def test_conflict_free_description(self, matched_planner, matched_system):
+        plan = matched_planner.plan(VectorAccess(16, 12, 128))
+        result = matched_system.run_plan(plan)
+        text = describe_result(result, 8)
+        assert "conflict-free" in text
+        assert "137" in text
+
+    def test_conflicting_description(self, matched_planner, matched_system):
+        plan = matched_planner.plan(VectorAccess(0, 128, 32), mode="ordered")
+        result = matched_system.run_plan(plan)
+        text = describe_result(result, 8)
+        assert "queued" in text

@@ -1,0 +1,64 @@
+"""Tests for the closed-form chaining model against the machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.memory.config import MemoryConfig
+from repro.processor.chaining import (
+    chained_pair_latency,
+    chaining_speedup,
+    conflict_free_load_latency,
+    decoupled_pair_latency,
+)
+from repro.processor.decoupled import DecoupledVectorMachine
+from repro.processor.isa import VLoad, VScale
+from repro.processor.program import Program
+
+
+class TestClosedForms:
+    def test_load_latency(self):
+        assert conflict_free_load_latency(128, 8) == 137
+
+    def test_decoupled_pair(self):
+        assert decoupled_pair_latency(128, 8, 4) == 137 + 4 + 128
+
+    def test_chained_pair(self):
+        assert chained_pair_latency(128, 8, 4) == 137 + 1 + 4
+
+    def test_speedup_grows_with_length(self):
+        short = chaining_speedup(16, 8, 4)
+        long = chaining_speedup(1024, 8, 4)
+        assert long > short
+        assert long < 2.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ProgramError):
+            conflict_free_load_latency(0, 8)
+
+
+class TestModelMatchesMachine:
+    @pytest.mark.parametrize("length", [32, 64, 128])
+    def test_decoupled(self, length):
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4),
+            register_length=length,
+            execute_startup=4,
+            chaining=False,
+        )
+        machine.store.write_vector(0, 12, [1.0] * length)
+        result = machine.run(Program([VLoad(1, 0, 12), VScale(2, 1, 2.0)]))
+        assert result.total_cycles == decoupled_pair_latency(length, 8, 4)
+
+    @pytest.mark.parametrize("length", [32, 64, 128])
+    def test_chained(self, length):
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4),
+            register_length=length,
+            execute_startup=4,
+            chaining=True,
+        )
+        machine.store.write_vector(0, 12, [1.0] * length)
+        result = machine.run(Program([VLoad(1, 0, 12), VScale(2, 1, 2.0)]))
+        assert result.total_cycles == chained_pair_latency(length, 8, 4)

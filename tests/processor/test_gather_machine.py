@@ -1,0 +1,142 @@
+"""Machine-level tests for gather/scatter and the VSum reduction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.memory.config import MemoryConfig
+from repro.processor.decoupled import DecoupledVectorMachine
+from repro.processor.isa import VGather, VLoad, VScatter, VStore, VSum
+from repro.processor.program import Program, assemble, disassemble
+
+
+def make_machine(**kwargs) -> DecoupledVectorMachine:
+    defaults = dict(
+        config=MemoryConfig.matched(t=3, s=4, input_capacity=2),
+        register_length=128,
+    )
+    defaults.update(kwargs)
+    return DecoupledVectorMachine(**defaults)
+
+
+class TestGatherValues:
+    def test_gather_reads_by_index(self):
+        machine = make_machine()
+        table = [float(i) * 3.0 for i in range(256)]
+        machine.store.write_vector(0, 1, table)
+        rng = random.Random(5)
+        indices = [float(rng.randrange(256)) for _ in range(128)]
+        machine.store.write_vector(10000, 1, indices)
+        machine.run(
+            Program(
+                [
+                    VLoad(1, 10000, 1),
+                    VGather(2, 0, 1),
+                    VStore(2, 20000, 1),
+                ]
+            )
+        )
+        out = machine.store.read_vector(20000, 1, 128)
+        assert out == [table[int(i)] for i in indices]
+
+    def test_scatter_writes_by_index(self):
+        machine = make_machine()
+        # Distinct indices so the scatter is well-defined.
+        rng = random.Random(6)
+        index_values = list(range(128))
+        rng.shuffle(index_values)
+        machine.store.write_vector(10000, 1, [float(i) for i in index_values])
+        machine.store.write_vector(30000, 1, [float(i) for i in range(128)])
+        machine.run(
+            Program(
+                [
+                    VLoad(1, 10000, 1),
+                    VLoad(2, 30000, 1),
+                    VScatter(2, 50000, 1),
+                ]
+            )
+        )
+        for position, target in enumerate(index_values):
+            assert machine.store.read(50000 + target) == float(position)
+
+
+class TestGatherTiming:
+    def test_scheduled_gather_of_permutation_is_conflict_free(self):
+        machine = make_machine(gather_mode="scheduled")
+        machine.store.write_vector(0, 1, [1.0] * 128)
+        rng = random.Random(11)
+        indices = list(range(128))
+        rng.shuffle(indices)
+        machine.store.write_vector(10000, 1, [float(i) for i in indices])
+        result = machine.run(
+            Program([VLoad(1, 10000, 1), VGather(2, 0, 1)])
+        )
+        gather_timing = result.timings[1]
+        assert gather_timing.mode == "scheduled"
+        assert gather_timing.conflict_free
+        assert gather_timing.duration == 8 + 128 + 1
+
+    def test_ordered_gather_slower(self):
+        rng = random.Random(11)
+        indices = list(range(128))
+        rng.shuffle(indices)
+        durations = {}
+        for mode in ("ordered", "scheduled"):
+            machine = make_machine(gather_mode=mode)
+            machine.store.write_vector(0, 1, [1.0] * 128)
+            machine.store.write_vector(
+                10000, 1, [float(i) for i in indices]
+            )
+            result = machine.run(
+                Program([VLoad(1, 10000, 1), VGather(2, 0, 1)])
+            )
+            durations[mode] = result.timings[1].duration
+        assert durations["scheduled"] < durations["ordered"]
+
+    def test_gather_waits_for_index_register(self):
+        machine = make_machine()
+        machine.store.write_vector(0, 1, [1.0] * 128)
+        machine.store.write_vector(10000, 1, [float(i) for i in range(128)])
+        result = machine.run(Program([VLoad(1, 10000, 1), VGather(2, 0, 1)]))
+        load, gather = result.timings
+        assert gather.start_cycle >= load.end_cycle + 1
+
+
+class TestVSum:
+    def test_reduction_value_broadcast(self):
+        machine = make_machine()
+        machine.store.write_vector(0, 1, [float(i) for i in range(128)])
+        machine.run(
+            Program([VLoad(1, 0, 1), VSum(2, 1), VStore(2, 5000, 1)])
+        )
+        expected = float(sum(range(128)))
+        assert machine.store.read_vector(5000, 1, 128) == [expected] * 128
+
+    def test_reduction_timing_is_linear(self):
+        machine = make_machine()
+        machine.store.write_vector(0, 1, [1.0] * 128)
+        result = machine.run(Program([VLoad(1, 0, 1), VSum(2, 1)]))
+        reduction = result.timings[1]
+        assert reduction.unit == "execute"
+        assert reduction.duration >= 128
+
+
+class TestAssemblerSupport:
+    def test_round_trip(self):
+        source = "\n".join(
+            [
+                "vload v1, base=0, stride=1",
+                "vgather v2, v1, base=100",
+                "vsum v3, v2",
+                "vscatter v3, v1, base=200, length=64",
+            ]
+        )
+        program = assemble(source)
+        assert program.instructions[1] == VGather(2, 100, 1)
+        assert program.instructions[2] == VSum(3, 2)
+        assert program.instructions[3] == VScatter(3, 200, 1, 64)
+        assert assemble(disassemble(program)).instructions == (
+            program.instructions
+        )

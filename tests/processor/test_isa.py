@@ -1,0 +1,63 @@
+"""Tests for the vector ISA dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.processor.isa import (
+    VAdd,
+    VLoad,
+    VMul,
+    VSAdd,
+    VScale,
+    VStore,
+    VSub,
+)
+
+
+class TestLoadStore:
+    def test_vload_registers(self):
+        instruction = VLoad(3, base=0, stride=4)
+        assert instruction.writes() == (3,)
+        assert instruction.reads() == ()
+        assert instruction.is_memory
+
+    def test_vstore_registers(self):
+        instruction = VStore(2, base=0, stride=1)
+        assert instruction.reads() == (2,)
+        assert instruction.writes() == ()
+        assert instruction.is_memory
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ProgramError):
+            VLoad(0, base=0, stride=0)
+        with pytest.raises(ProgramError):
+            VStore(0, base=0, stride=0)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ProgramError):
+            VLoad(0, base=0, stride=1, length=0)
+
+    def test_mnemonics(self):
+        assert VLoad(0, 0, 1).mnemonic == "LOAD"
+        assert VStore(0, 0, 1).mnemonic == "STORE"
+
+
+class TestArithmetic:
+    def test_binary_registers(self):
+        instruction = VAdd(2, 0, 1)
+        assert instruction.reads() == (0, 1)
+        assert instruction.writes() == (2,)
+        assert not instruction.is_memory
+
+    def test_apply_semantics(self):
+        assert VAdd(0, 0, 0).apply(2.0, 3.0) == 5.0
+        assert VSub(0, 0, 0).apply(2.0, 3.0) == -1.0
+        assert VMul(0, 0, 0).apply(2.0, 3.0) == 6.0
+
+    def test_scalar_ops(self):
+        assert VScale(0, 1, 2.5).apply(4.0) == 10.0
+        assert VSAdd(0, 1, 2.5).apply(4.0) == 6.5
+        assert VScale(0, 1, 2.5).reads() == (1,)
+        assert VScale(0, 1, 2.5).writes() == (0,)

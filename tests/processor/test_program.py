@@ -1,0 +1,102 @@
+"""Tests for program validation and the assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.processor.isa import VAdd, VLoad, VScale, VStore
+from repro.processor.program import Program, assemble, disassemble
+
+
+class TestValidation:
+    def test_valid_program(self):
+        program = Program([VLoad(1, 0, 1), VScale(2, 1, 2.0), VStore(2, 0, 1)])
+        program.validate(register_count=4)
+
+    def test_register_out_of_range(self):
+        program = Program([VLoad(9, 0, 1)])
+        with pytest.raises(ProgramError):
+            program.validate(register_count=4)
+
+    def test_use_before_def(self):
+        program = Program([VAdd(2, 0, 1)])
+        with pytest.raises(ProgramError):
+            program.validate(register_count=4)
+
+    def test_memory_instruction_count(self):
+        program = Program([VLoad(1, 0, 1), VScale(2, 1, 2.0), VStore(2, 0, 1)])
+        assert program.memory_instruction_count() == 2
+
+    def test_len_and_iter(self):
+        program = Program([VLoad(1, 0, 1)])
+        assert len(program) == 1
+        assert list(program) == [VLoad(1, 0, 1)]
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble(
+            """
+            # daxpy-ish
+            vload  v1, base=100, stride=3
+            vload  v2, base=4096, stride=1
+            vscale v3, v1, scalar=2.5
+            vadd   v4, v3, v2
+            vstore v4, base=8192, stride=1
+            """
+        )
+        assert len(program) == 5
+        assert program.instructions[0] == VLoad(1, 100, 3)
+        assert program.instructions[2] == VScale(3, 1, 2.5)
+        assert program.instructions[4] == VStore(4, 8192, 1)
+
+    def test_length_keyword(self):
+        program = assemble("vload v1, base=0, stride=2, length=20")
+        assert program.instructions[0] == VLoad(1, 0, 2, 20)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProgramError):
+            assemble("vxyz v1, v2, v3")
+
+    def test_bad_register_token(self):
+        with pytest.raises(ProgramError):
+            assemble("vadd w1, v2, v3")
+
+    def test_missing_scalar(self):
+        with pytest.raises(ProgramError):
+            assemble("vscale v1, v2, factor=2")
+
+    def test_bad_numeric(self):
+        with pytest.raises(ProgramError):
+            assemble("vload v1, base=abc, stride=1")
+
+    def test_missing_operands(self):
+        with pytest.raises(ProgramError):
+            assemble("vload v1, base=0")
+        with pytest.raises(ProgramError):
+            assemble("vadd v1, v2")
+
+    def test_comments_and_blanks_ignored(self):
+        program = assemble("\n# nothing\n\nvload v1, base=0, stride=1\n")
+        assert len(program) == 1
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_assemble(self):
+        source = "\n".join(
+            [
+                "vload v1, base=100, stride=3",
+                "vload v2, base=4096, stride=1, length=20",
+                "vscale v3, v1, scalar=2.5",
+                "vadd v4, v3, v2",
+                "vsub v5, v4, v2",
+                "vmul v6, v5, v5",
+                "vsadd v7, v6, scalar=1.0",
+                "vstore v7, base=8192, stride=1",
+            ]
+        )
+        first = assemble(source)
+        text = disassemble(first)
+        second = assemble(text)
+        assert first.instructions == second.instructions

@@ -1,0 +1,93 @@
+"""Tests for strip-mining helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.memory.config import MemoryConfig
+from repro.processor.decoupled import DecoupledVectorMachine
+from repro.processor.stripmine import (
+    daxpy_program,
+    elementwise_product_program,
+    full_strip_fraction,
+    strip_bounds,
+)
+
+
+class TestStripBounds:
+    def test_exact_multiple(self):
+        strips = strip_bounds(256, 128)
+        assert [(s.offset, s.length) for s in strips] == [(0, 128), (128, 128)]
+
+    def test_remainder(self):
+        strips = strip_bounds(300, 128)
+        assert [(s.offset, s.length) for s in strips] == [
+            (0, 128),
+            (128, 128),
+            (256, 44),
+        ]
+
+    def test_shorter_than_register(self):
+        strips = strip_bounds(50, 128)
+        assert [(s.offset, s.length) for s in strips] == [(0, 50)]
+
+    def test_bad_arguments(self):
+        with pytest.raises(ProgramError):
+            strip_bounds(0, 128)
+        with pytest.raises(ProgramError):
+            strip_bounds(10, 0)
+
+    def test_cover_exactly(self):
+        for total in (1, 127, 128, 129, 1000):
+            strips = strip_bounds(total, 128)
+            assert sum(s.length for s in strips) == total
+            assert strips[0].offset == 0
+            for a, b in zip(strips, strips[1:]):
+                assert b.offset == a.offset + a.length
+
+
+class TestFullStripFraction:
+    def test_paper_assumption_for_long_vectors(self):
+        """Long vectors spend almost all elements in full strips."""
+        assert full_strip_fraction(10000, 128) > 0.98
+
+    def test_exact_multiple_is_one(self):
+        assert full_strip_fraction(512, 128) == 1.0
+
+    def test_short_vector_is_zero(self):
+        assert full_strip_fraction(100, 128) == 0.0
+
+
+class TestGeneratedPrograms:
+    def test_daxpy_end_to_end(self):
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4), register_length=128
+        )
+        n = 300
+        xs = [float(i % 17) for i in range(n)]
+        ys = [float(i % 5) for i in range(n)]
+        machine.store.write_vector(0, 3, xs)
+        machine.store.write_vector(100000, 1, ys)
+        program = daxpy_program(n, 128, 1.5, 0, 3, 100000, 1)
+        machine.run(program)
+        out = machine.store.read_vector(100000, 1, n)
+        assert out == [1.5 * x + y for x, y in zip(xs, ys)]
+
+    def test_daxpy_strip_count(self):
+        program = daxpy_program(300, 128, 1.0, 0, 1, 10**6, 1)
+        # 3 strips x 5 instructions.
+        assert len(program) == 15
+
+    def test_elementwise_product(self):
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4), register_length=128
+        )
+        n = 200
+        machine.store.write_vector(0, 1, [2.0] * n)
+        machine.store.write_vector(50000, 2, [3.0] * n)
+        program = elementwise_product_program(
+            n, 128, 0, 1, 50000, 2, 200000, 1
+        )
+        machine.run(program)
+        assert machine.store.read_vector(200000, 1, n) == [6.0] * n

@@ -1,0 +1,37 @@
+"""Integration tests: every experiment runner passes all its checks.
+
+These are the repository's strongest end-to-end statements — each runner
+regenerates one artifact of the paper and compares it against the paper's
+stated values in-process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_passes(experiment_id):
+    result = ALL_EXPERIMENTS[experiment_id]()
+    failures = [check for check in result.checks if not check.passed]
+    assert not failures, "\n".join(
+        f"{check.claim}: expected {check.expected}, measured {check.measured}"
+        for check in failures
+    )
+
+
+def test_every_experiment_has_checks():
+    for experiment_id, runner in ALL_EXPERIMENTS.items():
+        result = runner()
+        assert result.checks, f"{experiment_id} asserts nothing"
+        assert result.rows, f"{experiment_id} renders nothing"
+
+
+def test_result_table_renderable():
+    from repro.report.tables import render_markdown, render_table
+
+    result = ALL_EXPERIMENTS["E01"]()
+    assert render_table(result.headers, result.rows)
+    assert render_markdown(result.headers, result.rows, title=result.title)

@@ -1,0 +1,84 @@
+"""Tests for the ASCII figure helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.report.figures import bar_chart, latency_profile, sparkline
+
+
+class TestBarChart:
+    def test_scaling(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+
+    def test_values_shown(self):
+        chart = bar_chart(["x"], [0.914], unit=" eta")
+        assert "0.914 eta" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart(["x", "y"], [0.0, 0.0])
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_length(self):
+        assert len(sparkline(list(range(20)))) == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([])
+
+
+class TestLatencyProfile:
+    def test_window_signature(self):
+        profile = latency_profile(
+            [0, 1, 2], [137, 137, 261], minimum=137, width=20
+        )
+        lines = profile.splitlines()
+        assert "minimum (T+L+1) = 137" in lines[0]
+        bars = [line.split("|")[1] for line in lines[1:]]
+        assert "=" in bars[0] and "#" not in bars[0]
+        assert "#" in bars[2] and "=" not in bars[2]
+
+    def test_from_real_simulation(self, matched_planner, matched_system):
+        from repro.core.vector import VectorAccess
+
+        families = list(range(6))
+        latencies = [
+            matched_system.run_plan(
+                matched_planner.plan(VectorAccess(16, 3 * (1 << x), 128))
+            ).latency
+            for x in families
+        ]
+        profile = latency_profile(families, latencies, minimum=137)
+        # Families 0..4 at the floor, family 5 above it.
+        assert profile.count("=") > profile.count("#") > 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            latency_profile([0], [1, 2], minimum=10)
+        with pytest.raises(ReproError):
+            latency_profile([0], [10], minimum=0)

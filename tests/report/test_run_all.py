@@ -1,0 +1,32 @@
+"""Tests for the EXPERIMENTS.md generator script."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+
+def load_run_all():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "run_all.py"
+    spec = importlib.util.spec_from_file_location("run_all", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunAll:
+    def test_writes_full_report(self, tmp_path, capsys):
+        run_all = load_run_all()
+        target = tmp_path / "EXPERIMENTS.md"
+        exit_code = run_all.main(str(target))
+        assert exit_code == 0
+        text = target.read_text()
+        # One section per experiment, every check passing.
+        for experiment_id in ("E01", "E07", "E09", "E15"):
+            assert f"## {experiment_id}" in text
+        assert "**FAIL**" not in text
+        assert "| check | paper / expected | measured | status |" in text
+        progress = capsys.readouterr().out
+        assert progress.count("PASS") >= 15

@@ -1,0 +1,46 @@
+"""Tests for the table renderers."""
+
+from __future__ import annotations
+
+from repro.report.tables import format_cell, render_markdown, render_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(0.9142857) == "0.9143"
+        assert format_cell(137.0) == "137"
+
+    def test_str_passthrough(self):
+        assert format_cell("hello") == "hello"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "long header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+        assert "long header" in lines[0]
+
+    def test_title(self):
+        table = render_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = render_table(["col"], [])
+        assert "col" in table
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        markdown = render_markdown(["a", "b"], [[1, True]], title="T")
+        lines = markdown.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| 1 | yes |"

@@ -1,0 +1,171 @@
+"""Metamorphic properties: invariances the XOR algebra must respect.
+
+Each test states a transformation of the input that must leave some
+observable unchanged — translation of the base address by high powers of
+two, negation of the stride, re-basing by whole periods, equivalence of
+the dedicated mappings with their GF(2) matrix forms.  These catch the
+kind of bit-slicing bugs that example-based tests miss.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import canonical_temporal_distribution
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.matrix import XorMatrixMapping
+from repro.mappings.section import SectionXorMapping
+
+odd_sigmas = st.integers(min_value=-15, max_value=15).filter(
+    lambda v: v % 2 != 0
+)
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=60)
+    @given(
+        base=st.integers(min_value=0, max_value=2**20),
+        shift=st.integers(min_value=1, max_value=64),
+        x=st.integers(min_value=0, max_value=4),
+        sigma=odd_sigmas,
+    )
+    def test_matched_modules_invariant_above_s_plus_t(
+        self, base, shift, x, sigma
+    ):
+        """Adding multiples of 2**(s+t) to the base cannot change any
+        module number: the mapping only reads bits below s+t."""
+        mapping = MatchedXorMapping(3, 4)
+        stride = sigma * (1 << x)
+        original = mapping.module_sequence(base, stride, 64)
+        translated = mapping.module_sequence(
+            base + shift * (1 << 7), stride, 64
+        )
+        assert original == translated
+
+    @settings(max_examples=60)
+    @given(
+        base=st.integers(min_value=0, max_value=2**20),
+        shift=st.integers(min_value=1, max_value=64),
+    )
+    def test_section_modules_invariant_above_y_plus_t(self, base, shift):
+        mapping = SectionXorMapping(3, 4, 9)
+        original = mapping.module_sequence(base, 12, 64)
+        translated = mapping.module_sequence(
+            base + shift * (1 << 12), 12, 64
+        )
+        assert original == translated
+
+
+class TestPeriodTranslation:
+    @settings(max_examples=60)
+    @given(
+        base=st.integers(min_value=0, max_value=2**18),
+        x=st.integers(min_value=0, max_value=4),
+        sigma=odd_sigmas,
+        periods=st.integers(min_value=1, max_value=4),
+    )
+    def test_advancing_whole_periods_preserves_ctp(
+        self, base, x, sigma, periods
+    ):
+        """Starting the vector k periods later replays the same CTP."""
+        mapping = MatchedXorMapping(3, 4)
+        stride = sigma * (1 << x)
+        span = mapping.period(x)
+        a = VectorAccess(base, stride, span)
+        b = VectorAccess(base + periods * span * stride, stride, span)
+        assert canonical_temporal_distribution(
+            mapping, a
+        ) == canonical_temporal_distribution(mapping, b)
+
+
+class TestConflictFreedomInvariances:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        base=st.integers(min_value=0, max_value=2**22),
+        x=st.integers(min_value=0, max_value=4),
+        sigma=odd_sigmas,
+    )
+    def test_negating_the_stride_preserves_the_verdict(self, base, x, sigma):
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        forward = planner.plan(VectorAccess(base, sigma * (1 << x), 128))
+        backward = planner.plan(VectorAccess(base, -sigma * (1 << x), 128))
+        assert forward.conflict_free == backward.conflict_free
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        base=st.integers(min_value=0, max_value=2**22),
+        x=st.integers(min_value=0, max_value=4),
+        sigma=odd_sigmas,
+    )
+    def test_reversal_symmetry(self, base, x, sigma):
+        """Reading the same elements from the other end (base' = last
+        element, stride' = -stride) is the same multiset of addresses:
+        the conflict-free verdict must agree."""
+        planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+        stride = sigma * (1 << x)
+        forward = VectorAccess(base, stride, 128)
+        backward = VectorAccess(base + 127 * stride, -stride, 128)
+        assert sorted(map(forward.address_of, range(128))) == sorted(
+            map(backward.address_of, range(128))
+        )
+        assert (
+            planner.plan(forward).conflict_free
+            == planner.plan(backward).conflict_free
+        )
+
+
+class TestMatrixEquivalence:
+    @settings(max_examples=60)
+    @given(address=st.integers(min_value=0, max_value=2**24 - 1))
+    def test_matched_matrix_form(self, address):
+        direct = MatchedXorMapping(3, 5)
+        matrix = XorMatrixMapping.from_matched(3, 5)
+        assert direct.module_of(address) == matrix.module_of(address)
+
+    @settings(max_examples=60)
+    @given(address=st.integers(min_value=0, max_value=2**24 - 1))
+    def test_section_matrix_form(self, address):
+        direct = SectionXorMapping(2, 3, 7)
+        matrix = XorMatrixMapping.from_section(2, 3, 7)
+        assert direct.module_of(address) == matrix.module_of(address)
+
+
+class TestAddressSpaceWraparound:
+    """Vectors that wrap modulo 2**address_bits keep all guarantees:
+    the algebra is linear over Z/2^n."""
+
+    def test_wrapping_vector_still_conflict_free(self):
+        mapping = MatchedXorMapping(3, 4, address_bits=16)
+        planner = AccessPlanner(mapping, 3)
+        # Base near the top of the 16-bit space: the access wraps.
+        vector = VectorAccess((1 << 16) - 100, 12, 128)
+        plan = planner.plan(vector)
+        assert plan.conflict_free
+
+    def test_negative_base_reduces_correctly(self):
+        mapping = MatchedXorMapping(3, 4, address_bits=16)
+        planner = AccessPlanner(mapping, 3)
+        plan = planner.plan(VectorAccess(-500, 12, 128))
+        assert plan.conflict_free
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        offset=st.integers(min_value=0, max_value=400),
+        x=st.integers(min_value=0, max_value=4),
+        sigma=st.integers(min_value=1, max_value=15).filter(
+            lambda v: v % 2 != 0
+        ),
+    )
+    def test_verdict_matches_translated_copy(self, offset, x, sigma):
+        """A wrapping vector behaves like its translate by 2**n."""
+        mapping = MatchedXorMapping(3, 4, address_bits=16)
+        planner = AccessPlanner(mapping, 3)
+        stride = sigma * (1 << x)
+        near_top = VectorAccess((1 << 16) - offset, stride, 128)
+        translated = VectorAccess(-offset, stride, 128)
+        assert (
+            planner.plan(near_top).modules == planner.plan(translated).modules
+        )

@@ -1,0 +1,180 @@
+"""Brute-force verification of the paper's theorems across geometries.
+
+These tests sweep (t, s, lambda) grids beyond the paper's running
+examples and check, for random odd factors and bases, that:
+
+* Theorem 1 — the matched window ``s-N <= x <= s`` is exactly the set of
+  families the planner serves conflict-free at minimum latency;
+* Theorem 3 — both unmatched windows behave likewise;
+* the static conflict-freedom predicate and the cycle-accurate simulator
+  never disagree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.core.windows import matched_window, unmatched_windows
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.section import SectionXorMapping
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+
+RNG = random.Random(20260613)
+
+
+def random_cases(count: int, max_sigma: int = 31) -> list[tuple[int, int]]:
+    """Random (sigma, base) pairs, sigma odd and possibly negative."""
+    cases = []
+    for _ in range(count):
+        sigma = RNG.randrange(1, max_sigma + 1, 2)
+        if RNG.random() < 0.3:
+            sigma = -sigma
+        base = RNG.randrange(0, 1 << 24)
+        cases.append((sigma, base))
+    return cases
+
+
+@pytest.mark.parametrize(
+    "t,s,lam",
+    [
+        (1, 1, 3),
+        (1, 3, 5),
+        (2, 2, 5),
+        (2, 4, 6),
+        (3, 3, 6),
+        (3, 4, 7),
+        (3, 6, 8),
+        (4, 4, 8),
+    ],
+)
+def test_theorem1_window_exact(t, s, lam):
+    """The conflict-free set equals the Theorem-1 window, nothing more."""
+    mapping = MatchedXorMapping(t, s)
+    planner = AccessPlanner(mapping, t)
+    system = MemorySystem(MemoryConfig(mapping, t))
+    window = matched_window(lam, t, s)
+    length = 1 << lam
+    minimum = (1 << t) + length + 1
+
+    for family in range(s + 3):
+        for sigma, base in random_cases(3):
+            vector = VectorAccess(base, sigma * (1 << family), length)
+            plan = planner.plan(vector, mode="auto")
+            result = system.run_plan(plan)
+            expected = window.contains(family)
+            assert plan.conflict_free == expected, (t, s, lam, family, sigma, base)
+            assert result.conflict_free == expected
+            if expected:
+                assert result.latency == minimum
+
+
+@pytest.mark.parametrize(
+    "t,s,y,lam",
+    [
+        (1, 2, 6, 4),
+        (2, 3, 7, 5),
+        (2, 4, 9, 6),
+        (3, 4, 9, 7),
+        (3, 5, 11, 8),
+    ],
+)
+def test_theorem3_windows_exact(t, s, y, lam):
+    """Both unmatched windows are conflict-free; the complement is not."""
+    mapping = SectionXorMapping(t, s, y)
+    planner = AccessPlanner(mapping, t)
+    system = MemorySystem(MemoryConfig(mapping, t))
+    low, high = unmatched_windows(lam, t, s, y)
+    length = 1 << lam
+    minimum = (1 << t) + length + 1
+
+    for family in range(y + 2):
+        expected = low.contains(family) or high.contains(family)
+        for sigma, base in random_cases(3):
+            vector = VectorAccess(base, sigma * (1 << family), length)
+            plan = planner.plan(vector, mode="auto")
+            result = system.run_plan(plan)
+            assert plan.conflict_free == expected, (
+                t, s, y, lam, family, sigma, base,
+            )
+            assert result.conflict_free == expected
+            if expected:
+                assert result.latency == minimum
+
+
+def test_short_registers_clip_the_window():
+    """Theorem 1 with lambda - t < s: only the upper part of the window."""
+    t, s, lam = 3, 6, 7  # N = min(4, 6) = 4 -> window [2, 6]
+    mapping = MatchedXorMapping(t, s)
+    planner = AccessPlanner(mapping, t)
+    length = 1 << lam
+    verdicts = {}
+    for family in range(s + 2):
+        plans = [
+            planner.plan(
+                VectorAccess(base, 3 * (1 << family), length), mode="auto"
+            ).conflict_free
+            for base in (0, 17, 4242)
+        ]
+        verdicts[family] = all(plans)
+    assert verdicts == {
+        0: False, 1: False, 2: True, 3: True, 4: True, 5: True, 6: True,
+        7: False,
+    }
+
+
+def test_static_predicate_and_simulator_always_agree():
+    """Cross-validation sweep: the Section 2 predicate == the machine."""
+    mapping = MatchedXorMapping(3, 4)
+    planner = AccessPlanner(mapping, 3)
+    system = MemorySystem(MemoryConfig(mapping, 3))
+    for mode in ("ordered", "subsequence", "conflict_free", "auto"):
+        for family in range(5):
+            for sigma, base in random_cases(2):
+                vector = VectorAccess(base, sigma * (1 << family), 64)
+                try:
+                    plan = planner.plan(vector, mode=mode)
+                except Exception:
+                    continue
+                result = system.run_plan(plan)
+                assert result.conflict_free == plan.conflict_free, (
+                    mode, family, sigma, base,
+                )
+
+
+def test_negative_strides_inside_window():
+    """The algebra is sign-agnostic: negative strides behave identically."""
+    planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+    system = MemorySystem(MemoryConfig.matched(t=3, s=4))
+    for family in range(5):
+        vector = VectorAccess(1 << 20, -3 * (1 << family), 128)
+        plan = planner.plan(vector, mode="auto")
+        result = system.run_plan(plan)
+        assert result.conflict_free
+        assert result.latency == 137
+
+
+def test_t_matched_is_necessary_for_conflict_free():
+    """Section 2: no ordering can fix a non-T-matched vector.
+
+    For an out-of-window family, even the best-effort orderings stay
+    conflicted because too few modules hold the data.
+    """
+    mapping = MatchedXorMapping(3, 4)
+    planner = AccessPlanner(mapping, 3)
+    vector = VectorAccess(0, 1 << 6, 128)  # family 6 > s: 2 modules only
+    assert not planner.vector_t_matched(vector)
+    plan = planner.plan(vector, mode="ordered")
+    assert not plan.conflict_free
+
+
+def test_any_initial_address_theorem1():
+    """Dense sweep over bases for one stride: CF must hold for all A1."""
+    planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
+    for base in range(0, 256, 3):
+        plan = planner.plan(VectorAccess(base, 12, 128), mode="auto")
+        assert plan.conflict_free, base

@@ -1,0 +1,97 @@
+"""Tests for kernel access-pattern generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import family_of
+from repro.errors import VectorSpecError
+from repro.workloads.kernels import (
+    fft_butterfly_accesses,
+    matrix_antidiagonal_access,
+    matrix_column_accesses,
+    matrix_diagonal_access,
+    matrix_row_accesses,
+    stencil_accesses,
+    transpose_block_accesses,
+)
+
+
+class TestMatrixPatterns:
+    def test_rows(self):
+        accesses = matrix_row_accesses(4, 10, base=100)
+        assert len(accesses) == 4
+        assert accesses[1].base == 110
+        assert all(a.stride == 1 and a.length == 10 for a in accesses)
+
+    def test_columns(self):
+        accesses = matrix_column_accesses(8, 16)
+        assert len(accesses) == 16
+        assert all(a.stride == 16 and a.length == 8 for a in accesses)
+        assert accesses[3].base == 3
+
+    def test_column_family_is_log_cols(self):
+        accesses = matrix_column_accesses(4, 64)
+        assert family_of(accesses[0].stride) == 6
+
+    def test_diagonal(self):
+        access = matrix_diagonal_access(64)
+        assert access.stride == 65
+        assert access.length == 64
+        assert family_of(access.stride) == 0  # 65 is odd: easy stride
+
+    def test_antidiagonal(self):
+        access = matrix_antidiagonal_access(64)
+        assert access.stride == 63
+        assert access.address_of(0) == 63
+        with pytest.raises(VectorSpecError):
+            matrix_antidiagonal_access(1)
+
+    def test_validation(self):
+        with pytest.raises(VectorSpecError):
+            matrix_row_accesses(0, 4)
+
+
+class TestFftPatterns:
+    def test_stage_strides(self):
+        for stage in range(6):
+            accesses = fft_butterfly_accesses(128, stage)
+            assert all(a.stride == 1 << (stage + 1) for a in accesses)
+
+    def test_element_coverage(self):
+        """Each stage touches every element exactly once."""
+        n = 64
+        for stage in range(5):
+            touched = []
+            for access in fft_butterfly_accesses(n, stage):
+                touched.extend(access.addresses())
+            assert sorted(touched) == list(range(n))
+
+    def test_stage_bounds(self):
+        with pytest.raises(VectorSpecError):
+            fft_butterfly_accesses(64, 6)
+        with pytest.raises(VectorSpecError):
+            fft_butterfly_accesses(64, -1)
+
+
+class TestTransposeAndStencil:
+    def test_transpose_tiles(self):
+        accesses = transpose_block_accesses(8, 8, 4)
+        # 4 tiles x 4 columns each.
+        assert len(accesses) == 16
+        assert all(a.stride == 8 and a.length == 4 for a in accesses)
+
+    def test_transpose_ragged_edges(self):
+        accesses = transpose_block_accesses(6, 6, 4)
+        lengths = sorted({a.length for a in accesses})
+        assert lengths == [2, 4]
+
+    def test_stencil_shape(self):
+        accesses = stencil_accesses(5, 10)
+        # 3 interior rows x 5 operand vectors.
+        assert len(accesses) == 15
+        assert all(a.length == 8 for a in accesses)
+
+    def test_stencil_minimum_size(self):
+        with pytest.raises(VectorSpecError):
+            stencil_accesses(2, 10)

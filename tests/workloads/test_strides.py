@@ -1,0 +1,57 @@
+"""Tests for stride population generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VectorSpecError
+from repro.workloads.strides import (
+    family_mix,
+    realistic_stride_population,
+    realistic_strides,
+    uniform_strides,
+)
+
+
+class TestUniformStrides:
+    def test_count_and_range(self):
+        strides = uniform_strides(500, max_stride_bits=10, seed=3)
+        assert len(strides) == 500
+        assert all(1 <= s <= 1024 for s in strides)
+
+    def test_deterministic(self):
+        assert uniform_strides(50, seed=9) == uniform_strides(50, seed=9)
+
+    def test_family_mix_geometric(self):
+        strides = uniform_strides(20000, seed=11)
+        mix = family_mix(strides)
+        assert abs(mix[0] - 0.5) < 0.02
+        assert abs(mix[1] - 0.25) < 0.02
+
+    def test_bad_count(self):
+        with pytest.raises(VectorSpecError):
+            uniform_strides(0)
+
+
+class TestRealisticPopulation:
+    def test_weights_sum_to_one(self):
+        population = realistic_stride_population()
+        assert sum(item.weight for item in population) == pytest.approx(1.0)
+
+    def test_families_annotated(self):
+        population = realistic_stride_population(matrix_dimension=512)
+        by_source = {item.source: item for item in population}
+        assert by_source["unit (rows, saxpy)"].family == 0
+        # 512 = 2**9: the worst case for conventional interleaving.
+        assert by_source["matrix column (ld=512)"].family == 9
+        assert by_source["main diagonal"].family == 0  # 513 is odd
+
+    def test_sampling(self):
+        strides = realistic_strides(1000, matrix_dimension=500, seed=5)
+        assert len(strides) == 1000
+        population = {item.stride for item in realistic_stride_population(500)}
+        assert set(strides) <= population
+
+    def test_bad_count(self):
+        with pytest.raises(VectorSpecError):
+            realistic_strides(0)
