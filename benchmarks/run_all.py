@@ -5,71 +5,72 @@ Usage::
 
     python benchmarks/run_all.py [output-path]
 
-Runs all experiments (E01..E16), prints progress, and writes a Markdown
-report with every regenerated table and its paper-vs-measured checks.
+Runs all experiments (E01..E16) through the ``repro.lab`` orchestration
+subsystem — in parallel, with content-addressed result caching under
+the lab root (``$REPRO_LAB_ROOT`` or ``.repro-lab``) — and writes a
+Markdown report with every regenerated table and its paper-vs-measured
+checks.  A warm cache makes re-generation near-instant; pass
+``--force`` to re-simulate everything from scratch.
 """
 
 from __future__ import annotations
 
-import sys
-import time
+import argparse
 from pathlib import Path
 
-from repro.report.experiments import ALL_EXPERIMENTS
-from repro.report.tables import render_markdown
-
-HEADER = """\
-# EXPERIMENTS — paper vs. measured
-
-Reproduction of every numeric/tabular artifact of Valero et al.,
-"Increasing the Number of Strides for Conflict-Free Vector Access"
-(ISCA 1992).  Regenerate this file with `python benchmarks/run_all.py`;
-each section below is produced by the matching `repro.report.experiments`
-runner and the matching `benchmarks/bench_*` target.
-
-Absolute cycle counts come from this repository's cycle-accurate
-simulator (timing contract: 1-cycle buses, T-cycle modules — the same
-model the paper's latency formulas assume), so the paper's *exact*
-latency and efficiency numbers are expected to match, not just the
-shape.
-
-"""
+from repro.lab import (
+    ArtifactStore,
+    EXPERIMENT_KIND,
+    build_registry,
+    default_lab_root,
+    render_experiments_markdown,
+    run_jobs,
+    write_run_artifacts,
+)
 
 
-def main(output: str) -> int:
-    sections: list[str] = [HEADER]
-    all_ok = True
-    for experiment_id in sorted(ALL_EXPERIMENTS):
-        runner = ALL_EXPERIMENTS[experiment_id]
-        started = time.time()
-        result = runner()
-        elapsed = time.time() - started
-        status = "PASS" if result.all_passed else "FAIL"
-        all_ok = all_ok and result.all_passed
-        print(f"{experiment_id}: {status} ({elapsed:.1f}s) {result.title}")
-
-        sections.append(f"## {experiment_id} — {result.title}\n")
-        sections.append(render_markdown(result.headers, result.rows))
-        sections.append("")
-        if result.notes:
-            for note in result.notes:
-                sections.append(f"*Note: {note}*")
-            sections.append("")
-        sections.append("| check | paper / expected | measured | status |")
-        sections.append("|---|---|---|---|")
-        for check in result.checks:
-            mark = "pass" if check.passed else "**FAIL**"
-            sections.append(
-                f"| {check.claim} | {check.expected} | {check.measured} "
-                f"| {mark} |"
-            )
-        sections.append("")
-
-    Path(output).write_text("\n".join(sections))
+def main(
+    output: str,
+    *,
+    lab_root: str | None = None,
+    workers: int | None = None,
+    force: bool = False,
+) -> int:
+    store = ArtifactStore(lab_root or default_lab_root())
+    specs = [
+        spec
+        for spec in build_registry().values()
+        if spec.kind == EXPERIMENT_KIND
+    ]
+    report = run_jobs(
+        specs, store=store, workers=workers, force=force, progress=print
+    )
+    write_run_artifacts(store, report)
+    Path(output).write_text(
+        render_experiments_markdown(
+            [outcome.record for outcome in report.outcomes]
+        )
+    )
     print(f"wrote {output}")
-    return 0 if all_ok else 1
+    return 0 if report.all_passed else 1
 
 
 if __name__ == "__main__":
-    target = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
-    raise SystemExit(main(target))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes"
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="ignore cached artifacts"
+    )
+    parser.add_argument("--lab-root", default=None)
+    args = parser.parse_args()
+    raise SystemExit(
+        main(
+            args.output,
+            lab_root=args.lab_root,
+            workers=args.jobs,
+            force=args.force,
+        )
+    )

@@ -79,6 +79,105 @@ def sweep_t(lambda_exponent: int, t_range: range) -> list[DesignRow]:
     ]
 
 
+@dataclass(frozen=True)
+class SweepSpec:
+    """A batchable, hashable design-space sweep.
+
+    ``axis`` selects which exponent varies (``"lambda"`` or ``"t"``)
+    while ``fixed`` pins the other one; ``start``/``stop`` bound the
+    varying exponent like ``range`` (stop exclusive).  Being a frozen
+    dataclass of ints and strings, a spec can be hashed into a
+    content-addressed cache key and shipped to a worker process, which
+    is how ``repro.lab`` schedules sweeps as jobs.
+    """
+
+    axis: str
+    fixed: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("lambda", "t"):
+            raise ConfigurationError(
+                f"sweep axis must be 'lambda' or 't', got {self.axis!r}"
+            )
+        if self.start >= self.stop:
+            raise ConfigurationError(
+                f"empty sweep range [{self.start}, {self.stop})"
+            )
+        # The varying exponent is further filtered against the fixed one
+        # (lambda >= t >= 0 always); reject specs whose feasible
+        # sub-range is empty, which would otherwise cache a silently
+        # empty table.
+        if self.fixed < 0:
+            raise ConfigurationError(
+                f"fixed exponent must be non-negative, got {self.fixed}"
+            )
+        if self.axis == "lambda" and self.stop - 1 < max(self.start, self.fixed):
+            raise ConfigurationError(
+                f"no lambda in [{self.start}, {self.stop}) is >= t={self.fixed}"
+            )
+        if self.axis == "t" and max(self.start, 0) > min(
+            self.stop - 1, self.fixed
+        ):
+            raise ConfigurationError(
+                f"no t in [{self.start}, {self.stop}) lies in "
+                f"[0, lambda={self.fixed}]"
+            )
+
+    def design_rows(self) -> list[DesignRow]:
+        if self.axis == "lambda":
+            return sweep_lambda(self.fixed, range(self.start, self.stop))
+        return sweep_t(self.fixed, range(self.start, self.stop))
+
+    def table(self) -> tuple[list[str], list[list]]:
+        """Headers plus primitive-celled rows, ready for rendering."""
+        headers = [
+            "lambda",
+            "L",
+            "t",
+            "matched window",
+            "unmatched window",
+            "matched f",
+            "unmatched f",
+            "matched eta",
+            "unmatched eta",
+            "ordered eta",
+            "advantage",
+        ]
+        rows = [
+            [
+                row.lambda_exponent,
+                row.vector_length,
+                row.t,
+                row.matched_window,
+                row.unmatched_window,
+                float(row.matched_fraction),
+                float(row.unmatched_fraction),
+                float(row.matched_efficiency),
+                float(row.unmatched_efficiency),
+                float(row.ordered_matched_efficiency),
+                row.advantage,
+            ]
+            for row in self.design_rows()
+        ]
+        return headers, rows
+
+    def describe(self) -> str:
+        other = "t" if self.axis == "lambda" else "lambda"
+        return (
+            f"sweep {self.axis} in [{self.start}, {self.stop}) "
+            f"with {other}={self.fixed}"
+        )
+
+
+#: The sweeps `bench_design_space.py` reports, as declarative specs.
+STANDARD_SWEEPS: tuple[SweepSpec, ...] = (
+    SweepSpec(axis="lambda", fixed=3, start=3, stop=11),
+    SweepSpec(axis="t", fixed=7, start=0, stop=8),
+)
+
+
 def efficiency_crossover_t(lambda_exponent: int) -> int | None:
     """Smallest ``t`` at which the proposed matched scheme's efficiency
     drops below 0.9 — i.e. where the register stops being long enough to

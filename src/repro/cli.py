@@ -7,6 +7,9 @@ Usage (also via ``python -m repro``)::
     repro window --lam 7 --t 3 --unmatched
     repro experiments --ids E01,E03 --output EXPERIMENTS.md
     repro survey --t 3 --s 4 --max-stride 32
+    repro lab run --all --jobs 8
+    repro lab status
+    repro lab summarize --output SUMMARY.md
 
 Every subcommand prints plain text; exit status is non-zero when an
 experiment check fails, so the CLI slots into shell-based CI.
@@ -34,6 +37,27 @@ from repro.report.experiments import ALL_EXPERIMENTS
 from repro.report.tables import render_table
 
 
+def package_version() -> str:
+    """The running package's version.
+
+    ``repro.__version__`` is the single source: pyproject.toml derives
+    the distribution metadata from it (``[tool.setuptools.dynamic]``),
+    and the lab's cache keys embed it — so the version reported here is
+    always the one addressing the cache and the code actually running,
+    even when a source tree shadows an older installed distribution.
+    """
+    import repro
+
+    return repro.__version__
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -41,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Conflict-free vector access (Valero et al., ISCA 1992) — "
             "plan, simulate and reproduce"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -92,6 +119,60 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--y", type=int, default=None)
     survey.add_argument("--length", type=int, default=128)
     survey.add_argument("--max-stride", type=int, default=32)
+
+    lab = commands.add_parser(
+        "lab",
+        help="parallel experiment lab with content-addressed result caching",
+    )
+    lab_commands = lab.add_subparsers(dest="lab_command", required=True)
+    root_help = (
+        "lab root directory (default: $REPRO_LAB_ROOT or .repro-lab)"
+    )
+
+    lab_run = lab_commands.add_parser(
+        "run", help="execute registered jobs in parallel, caching results"
+    )
+    selection = lab_run.add_mutually_exclusive_group()
+    selection.add_argument(
+        "--all",
+        action="store_true",
+        help="run every registered job (the default when --ids is absent)",
+    )
+    selection.add_argument(
+        "--ids",
+        default="",
+        help="comma-separated job ids (e.g. E01,E09,A3,S-lambda)",
+    )
+    lab_run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: one per CPU, os.cpu_count())",
+    )
+    lab_run.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute even when a cached artifact exists",
+    )
+    lab_run.add_argument("--root", default=None, help=root_help)
+
+    lab_status = lab_commands.add_parser(
+        "status", help="show cache coverage and recent runs"
+    )
+    lab_status.add_argument("--root", default=None, help=root_help)
+
+    lab_summarize = lab_commands.add_parser(
+        "summarize", help="render a Markdown summary of all cached results"
+    )
+    lab_summarize.add_argument("--root", default=None, help=root_help)
+    lab_summarize.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+
+    lab_index = lab_commands.add_parser(
+        "index", help="rebuild the SQLite index from the artifact files"
+    )
+    lab_index.add_argument("--root", default=None, help=root_help)
 
     run = commands.add_parser(
         "run", help="execute a vector-assembly file on the decoupled machine"
@@ -215,6 +296,125 @@ def command_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_lab(args: argparse.Namespace) -> int:
+    from repro.lab import (
+        ArtifactStore,
+        build_registry,
+        default_lab_root,
+        run_jobs,
+        summarize_cached,
+        write_run_artifacts,
+    )
+
+    store = ArtifactStore(args.root or default_lab_root())
+    registry = build_registry()
+
+    if args.lab_command == "run":
+        if args.ids:
+            lookup = {job_id.lower(): job_id for job_id in registry}
+            wanted = [
+                lookup.get(item.strip().lower(), item.strip())
+                for item in args.ids.split(",")
+                if item.strip()
+            ]
+            unknown = sorted(set(wanted) - set(registry))
+            if unknown:
+                print(
+                    f"unknown job ids: {', '.join(unknown)} "
+                    f"(known: {', '.join(sorted(registry))})",
+                    file=sys.stderr,
+                )
+                return 2
+            specs = [registry[job_id] for job_id in dict.fromkeys(wanted)]
+        else:
+            specs = list(registry.values())
+        report = run_jobs(
+            specs,
+            store=store,
+            workers=args.jobs,
+            force=args.force,
+            progress=print,
+        )
+        run_dir = write_run_artifacts(store, report)
+        print(
+            f"run {report.run_id}: {len(report.outcomes)} jobs, "
+            f"{report.cache_hits} cache hits, {report.executed} executed, "
+            f"{len(report.failures)} failed in {report.elapsed_seconds:.1f}s"
+        )
+        print(f"manifest: {run_dir / 'manifest.json'}")
+        if report.failures:
+            failed = ", ".join(o.spec.job_id for o in report.failures)
+            print(f"failed jobs: {failed}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.lab_command == "status":
+        from repro.lab import cached_records
+
+        cached, missing = cached_records(store, registry)
+        by_id = {spec.job_id: record for spec, record in cached}
+        rows = []
+        for job_id in sorted(registry):
+            record = by_id.get(job_id)
+            if record is None:
+                rows.append([job_id, registry[job_id].kind, "-", "-", "-"])
+            else:
+                rows.append(
+                    [
+                        job_id,
+                        registry[job_id].kind,
+                        "yes",
+                        "pass" if record["all_passed"] else "FAIL",
+                        f"{record['elapsed_seconds']:.2f}s",
+                    ]
+                )
+        print(f"lab root: {store.root}")
+        print(f"cached:   {len(cached)}/{len(registry)} registered jobs")
+        print(render_table(["job", "kind", "cached", "checks", "cost"], rows))
+        runs = store.runs(limit=5)
+        if runs:
+            print()
+            print(
+                render_table(
+                    ["run", "when", "jobs", "hits", "failed", "elapsed"],
+                    [
+                        [
+                            run["run_id"],
+                            run["created_at"],
+                            run["job_count"],
+                            run["cache_hits"],
+                            run["failures"],
+                            f"{run['elapsed_seconds']:.1f}s",
+                        ]
+                        for run in runs
+                    ],
+                )
+            )
+        return 0
+
+    if args.lab_command == "summarize":
+        markdown, missing = summarize_cached(store, registry)
+        if markdown is None:
+            print(
+                f"no cached results under {store.root} — run `repro lab run` "
+                "first",
+                file=sys.stderr,
+            )
+            return 1
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(markdown)
+            print(f"wrote {args.output} ({len(missing)} jobs not cached)")
+        else:
+            print(markdown)
+        return 0
+
+    count = store.rebuild_index()
+    print(f"indexed {count} artifacts into {store.index_path}")
+    return 0
+
+
 def _split_directives(text: str) -> tuple[list[str], list[str]]:
     """Separate ``.init``/``.fill`` directive lines from assembly lines.
 
@@ -313,12 +513,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": command_experiments,
         "survey": command_survey,
         "run": command_run,
+        "lab": command_lab,
     }
     try:
         return handlers[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away mid-print.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,86 @@
+"""repro.lab — parallel experiment orchestration with result caching.
+
+The lab turns everything this repository can measure — the E01..E16
+paper-reproduction experiments, the design-space sweeps and the A1..A7
+ablation benches — into declaratively-specified jobs that fan out over
+a process pool and land in a content-addressed artifact store:
+
+* :mod:`repro.lab.jobs` — the job registry and worker entry point;
+* :mod:`repro.lab.hashing` — canonical config hashing + cell codecs;
+* :mod:`repro.lab.store` — JSON artifacts + SQLite cross-run index;
+* :mod:`repro.lab.executor` — cache-aware ``ProcessPoolExecutor`` fan-out;
+* :mod:`repro.lab.manifest` — per-run manifest.json / report.md and the
+  byte-stable EXPERIMENTS.md renderer.
+
+Quickstart::
+
+    from repro.lab import ArtifactStore, build_registry, run_jobs
+
+    store = ArtifactStore(".repro-lab")
+    registry = build_registry()
+    report = run_jobs(registry.values(), store=store)
+    assert report.all_passed          # every paper check reproduced
+    rerun = run_jobs(registry.values(), store=store)
+    assert rerun.cache_hits == len(registry)   # second pass is free
+
+The CLI front end is ``repro lab run|status|summarize|index``.
+"""
+
+from repro.lab.executor import (
+    ExecutionReport,
+    JobOutcome,
+    default_worker_count,
+    run_jobs,
+)
+from repro.lab.hashing import (
+    ArtifactCodingError,
+    canonical_json,
+    config_hash,
+    decode_rows,
+    encode_rows,
+)
+from repro.lab.jobs import (
+    ABLATION_KIND,
+    EXPERIMENT_KIND,
+    SWEEP_KIND,
+    JobSpec,
+    UnknownJobError,
+    build_registry,
+    execute_job,
+    resolve,
+)
+from repro.lab.manifest import (
+    cached_records,
+    render_experiments_markdown,
+    render_lab_report,
+    summarize_cached,
+    write_run_artifacts,
+)
+from repro.lab.store import ArtifactStore, default_lab_root
+
+__all__ = [
+    "ABLATION_KIND",
+    "ArtifactCodingError",
+    "ArtifactStore",
+    "EXPERIMENT_KIND",
+    "ExecutionReport",
+    "JobOutcome",
+    "JobSpec",
+    "SWEEP_KIND",
+    "UnknownJobError",
+    "build_registry",
+    "cached_records",
+    "canonical_json",
+    "config_hash",
+    "decode_rows",
+    "default_lab_root",
+    "default_worker_count",
+    "encode_rows",
+    "execute_job",
+    "render_experiments_markdown",
+    "render_lab_report",
+    "resolve",
+    "run_jobs",
+    "summarize_cached",
+    "write_run_artifacts",
+]

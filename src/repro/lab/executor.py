@@ -1,0 +1,200 @@
+"""Parallel job execution with cache-aware scheduling.
+
+The executor takes a batch of :class:`~repro.lab.jobs.JobSpec`, checks
+the artifact store for each config hash, fans the misses out over a
+``ProcessPoolExecutor`` and persists every fresh payload as it lands.
+Results are reported in job-id order regardless of completion order,
+so a parallel run and a serial run of the same batch are
+indistinguishable to everything downstream (reports diff cleanly).
+
+Workers receive only the job id — they rebuild the (deterministic)
+registry themselves and return a JSON-safe payload — so nothing
+unpicklable ever crosses the process boundary, and an interrupted run
+leaves behind exactly the artifacts of the jobs that finished, which
+the next run picks up as cache hits.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import repro
+from repro.lab.jobs import JobSpec, execute_job
+from repro.lab.store import ArtifactStore
+
+
+def default_worker_count() -> int:
+    """One worker per CPU, as ``repro lab run --jobs`` defaults to."""
+    return os.cpu_count() or 1
+
+
+def _new_run_id() -> str:
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()) + "-" + uuid.uuid4().hex[:8]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's stored record plus how it was obtained."""
+
+    spec: JobSpec
+    record: dict
+    cached: bool
+
+    @property
+    def all_passed(self) -> bool:
+        return bool(self.record["all_passed"])
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return float(self.record["elapsed_seconds"])
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one batch produced, in deterministic job-id order."""
+
+    run_id: str
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def executed(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.all_passed]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    store: ArtifactStore,
+    workers: int | None = None,
+    force: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> ExecutionReport:
+    """Execute a batch, reusing cached artifacts unless ``force``.
+
+    ``workers=None`` means one per CPU; ``workers=1`` runs in-process
+    (no pool), which is also the fallback for a single pending job.
+    ``progress`` receives one human-readable line per completed job.
+    """
+    if workers is None:
+        workers = default_worker_count()
+    elif workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    ordered = sorted(specs, key=lambda spec: spec.job_id)
+    version = repro.__version__
+    run_id = _new_run_id()
+    started = time.perf_counter()
+
+    def emit(outcome: JobOutcome) -> None:
+        if progress is None:
+            return
+        status = "PASS" if outcome.all_passed else "FAIL"
+        suffix = " [cached]" if outcome.cached else ""
+        progress(
+            f"{outcome.spec.job_id}: {status} "
+            f"({outcome.elapsed_seconds:.1f}s) "
+            f"{outcome.record['title']}{suffix}"
+        )
+
+    outcomes: dict[str, JobOutcome] = {}
+    pending: list[JobSpec] = []
+    for spec in ordered:
+        record = None if force else store.load(spec.config_hash(version))
+        if record is not None:
+            outcomes[spec.job_id] = JobOutcome(spec, record, cached=True)
+            emit(outcomes[spec.job_id])
+        else:
+            pending.append(spec)
+
+    def complete(spec: JobSpec, payload: dict) -> None:
+        record = store.save(spec, payload, run_id=run_id, package_version=version)
+        outcomes[spec.job_id] = JobOutcome(spec, record, cached=False)
+        emit(outcomes[spec.job_id])
+
+    def crash(spec: JobSpec, error: Exception) -> None:
+        # A raising job becomes a failed outcome that is deliberately NOT
+        # cached: caching it would pin the failure across re-runs.
+        record = {
+            "job_id": spec.job_id,
+            "kind": spec.kind,
+            "title": spec.title,
+            "headers": [],
+            "rows": [],
+            "checks": [
+                {
+                    "claim": "job executed without raising",
+                    "expected": "no exception",
+                    "measured": f"{type(error).__name__}: {error}",
+                    "passed": False,
+                }
+            ],
+            "notes": [],
+            "all_passed": False,
+            "elapsed_seconds": 0.0,
+            "config_hash": spec.config_hash(version),
+            "package_version": version,
+            "run_id": run_id,
+        }
+        outcomes[spec.job_id] = JobOutcome(spec, record, cached=False)
+        emit(outcomes[spec.job_id])
+
+    # Job-execution errors become failed outcomes; store/save errors are
+    # infrastructure problems and propagate (the `else` keeps them out of
+    # the job's except clause so they are never misattributed to the job).
+    if len(pending) <= 1 or workers == 1:
+        for spec in pending:
+            try:
+                payload = execute_job(spec)
+            except Exception as error:
+                crash(spec, error)
+            else:
+                complete(spec, payload)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(execute_job, spec): spec for spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        payload = future.result()
+                    except Exception as error:
+                        crash(futures[future], error)
+                    else:
+                        complete(futures[future], payload)
+
+    report = ExecutionReport(
+        run_id=run_id,
+        outcomes=[outcomes[spec.job_id] for spec in ordered],
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    store.record_run(
+        run_id,
+        job_count=len(report.outcomes),
+        cache_hits=report.cache_hits,
+        failures=len(report.failures),
+        elapsed_seconds=report.elapsed_seconds,
+        package_version=version,
+    )
+    return report

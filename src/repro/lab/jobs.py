@@ -1,0 +1,301 @@
+"""The job registry: every runnable artifact of the repo as one job.
+
+Three kinds of jobs, all declaratively specified and content-hashable:
+
+* ``experiment`` — one ``repro.report.experiments`` runner (E01..E16),
+* ``sweep`` — one :class:`repro.analysis.sweeps.SweepSpec` design-space
+  sweep (S-lambda, S-t),
+* ``ablation`` — one ablation bench's row builder from ``benchmarks/``
+  (A1..A7), imported by file path so the bench modules stay the single
+  source of truth.
+
+A :class:`JobSpec` carries no callables, only strings and ints, so it
+pickles trivially and hashes canonically; worker processes rebuild the
+registry themselves (it is deterministic) and resolve the job id back
+to the code to run.  ``execute_job`` is the worker entry point: it
+returns a JSON-safe payload dict — headers, encoded rows, checks,
+notes — that the artifact store persists verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+from repro.analysis.sweeps import STANDARD_SWEEPS, SweepSpec
+from repro.errors import ReproError
+from repro.lab.hashing import config_hash, encode_rows
+from repro.report.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    registry_entries,
+)
+
+EXPERIMENT_KIND = "experiment"
+SWEEP_KIND = "sweep"
+ABLATION_KIND = "ablation"
+
+
+class UnknownJobError(ReproError):
+    """A job id that no registry entry matches."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declaratively-specified job: id, kind and hashable params."""
+
+    job_id: str
+    kind: str
+    title: str
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def config(self, package_version: str) -> dict:
+        """The dict whose canonical hash addresses this job's artifact."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": {key: value for key, value in self.params},
+            "package_version": package_version,
+            "source_fingerprint": source_fingerprint(),
+        }
+
+    def config_hash(self, package_version: str | None = None) -> str:
+        version = package_version or repro.__version__
+        return config_hash(self.config(version))
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """SHA-256 over every Python source the jobs can execute.
+
+    Folding this into every config hash ties the cache to code
+    identity, not just the (often static) package version: editing the
+    simulator or a bench invalidates all cached artifacts, so a stale
+    EXPERIMENTS.md can never be regenerated from results the current
+    code would not produce.  Covers ``src/repro`` and the ablation
+    benches; cached per process (sources don't change mid-run).
+    """
+    digest = hashlib.sha256()
+    roots = [Path(repro.__file__).resolve().parent]
+    benches = benchmarks_dir()
+    if benches is not None:
+        roots.append(benches)
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+#: Ablation benches: id -> (bench module stem, row-builder, headers, title).
+ABLATION_BENCHES: dict[str, tuple[str, str, tuple[str, ...], str]] = {
+    "A1": (
+        "bench_ablation_buffers",
+        "sweep",
+        ("q", "ordered", "subsequence", "conflict-free"),
+        "A1: buffer depth vs ordering discipline",
+    ),
+    "A2": (
+        "bench_ablation_oracle",
+        "coverage_grid",
+        ("length", "cases", "paper CF", "oracle CF", "oracle-only"),
+        "A2: structured ordering vs an oracle scheduler",
+    ),
+    "A3": (
+        "bench_ablation_multistream",
+        "interference_sweep",
+        (
+            "q",
+            "solo latency",
+            "shared total",
+            "worst stream latency",
+            "module waits",
+            "bus util",
+        ),
+        "A3: two conflict-free streams sharing the memory",
+    ),
+    "A4": (
+        "bench_ablation_dynamic",
+        "compare",
+        ("stride", "family", "dynamic+ordered", "static window (paper)"),
+        "A4: static window vs per-stride dynamic schemes",
+    ),
+    "A5": (
+        "bench_ablation_pseudorandom",
+        "sweep",
+        ("family", "paper latency", "paper CF", "random latency", "random CF"),
+        "A5: paper window vs pseudo-random interleaving",
+    ),
+    "A6": (
+        "bench_ablation_gather",
+        "sweep",
+        ("index population", "ordered", "scheduled", "scheme", "CF"),
+        "A6: gather (indexed) access scheduling",
+    ),
+    "A7": (
+        "bench_ablation_multiport",
+        "build_rows",
+        ("configuration", "total cycles", "module waits"),
+        "A7: memory ports vs modules",
+    ),
+}
+
+
+def benchmarks_dir() -> Path | None:
+    """The repo's ``benchmarks/`` directory, if the checkout has one.
+
+    Resolved relative to the installed package so the registry is
+    identical in the parent and in every worker.  Returns None for
+    installed-without-sources deployments, in which case ablation jobs
+    simply are not registered.
+    """
+    candidate = Path(repro.__file__).resolve().parents[2] / "benchmarks"
+    return candidate if candidate.is_dir() else None
+
+
+def _sweep_job_id(spec: SweepSpec) -> str:
+    return f"S-{spec.axis}"
+
+
+def _sweep_params(spec: SweepSpec) -> tuple[tuple[str, object], ...]:
+    return (
+        ("axis", spec.axis),
+        ("fixed", spec.fixed),
+        ("start", spec.start),
+        ("stop", spec.stop),
+    )
+
+
+def build_registry() -> dict[str, JobSpec]:
+    """All jobs, keyed by id, in deterministic (sorted) order."""
+    specs: list[JobSpec] = []
+    for experiment_id, title, _runner in registry_entries():
+        specs.append(JobSpec(experiment_id, EXPERIMENT_KIND, title))
+    for sweep in STANDARD_SWEEPS:
+        specs.append(
+            JobSpec(
+                _sweep_job_id(sweep),
+                SWEEP_KIND,
+                f"Design-space {sweep.describe()}",
+                _sweep_params(sweep),
+            )
+        )
+    if benchmarks_dir() is not None:
+        for job_id, (module, function, headers, title) in sorted(
+            ABLATION_BENCHES.items()
+        ):
+            specs.append(
+                JobSpec(
+                    job_id,
+                    ABLATION_KIND,
+                    title,
+                    (("module", module), ("function", function)),
+                )
+            )
+    return {spec.job_id: spec for spec in sorted(specs, key=lambda s: s.job_id)}
+
+
+def resolve(job_id: str, registry: dict[str, JobSpec] | None = None) -> JobSpec:
+    registry = registry if registry is not None else build_registry()
+    try:
+        return registry[job_id]
+    except KeyError:
+        raise UnknownJobError(f"unknown job id {job_id!r}") from None
+
+
+def _load_bench_module(stem: str):
+    directory = benchmarks_dir()
+    if directory is None:
+        raise UnknownJobError(
+            f"ablation bench {stem!r} needs the benchmarks/ directory, "
+            "which this installation does not ship"
+        )
+    path = directory / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(f"repro_lab_{stem}", path)
+    if spec is None or spec.loader is None:
+        raise UnknownJobError(f"cannot load bench module {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _experiment_payload(result: ExperimentResult) -> dict:
+    return {
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": encode_rows(result.rows),
+        "checks": [
+            {
+                "claim": check.claim,
+                "expected": check.expected,
+                "measured": check.measured,
+                "passed": check.passed,
+            }
+            for check in result.checks
+        ],
+        "notes": list(result.notes),
+        "all_passed": result.all_passed,
+    }
+
+
+def _table_payload(title: str, headers, rows) -> dict:
+    return {
+        "title": title,
+        "headers": list(headers),
+        "rows": encode_rows(rows),
+        "checks": [],
+        "notes": [],
+        "all_passed": True,
+    }
+
+
+def execute_job(job: str | JobSpec) -> dict:
+    """Run one job and return its JSON-safe payload (worker entry point).
+
+    Accepts either a job id (resolved against the registry) or a full
+    :class:`JobSpec` — the form the executor ships to workers, so that
+    the executed config is exactly the one the result is cached under.
+    Experiment and ablation jobs cannot carry custom params yet (see
+    ROADMAP); a spec whose params differ from the registry's is
+    rejected rather than silently computing the registry default.
+    """
+    spec = resolve(job) if isinstance(job, str) else job
+    if spec.kind != SWEEP_KIND:
+        registered = resolve(spec.job_id)
+        if spec.params != registered.params:
+            raise UnknownJobError(
+                f"job {spec.job_id!r} does not support custom params "
+                f"{dict(spec.params)!r} (registry has "
+                f"{dict(registered.params)!r})"
+            )
+    started = time.perf_counter()
+    if spec.kind == EXPERIMENT_KIND:
+        payload = _experiment_payload(ALL_EXPERIMENTS[spec.job_id]())
+    elif spec.kind == SWEEP_KIND:
+        params = dict(spec.params)
+        sweep = SweepSpec(
+            axis=params["axis"],
+            fixed=params["fixed"],
+            start=params["start"],
+            stop=params["stop"],
+        )
+        headers, rows = sweep.table()
+        payload = _table_payload(spec.title, headers, rows)
+    elif spec.kind == ABLATION_KIND:
+        module_stem, function, headers, title = ABLATION_BENCHES[spec.job_id]
+        module = _load_bench_module(module_stem)
+        rows = getattr(module, function)()
+        payload = _table_payload(title, list(headers), rows)
+    else:  # pragma: no cover - registry only emits the three kinds
+        raise UnknownJobError(
+            f"job {spec.job_id!r} has unknown kind {spec.kind!r}"
+        )
+    payload["job_id"] = spec.job_id
+    payload["kind"] = spec.kind
+    payload["elapsed_seconds"] = time.perf_counter() - started
+    return payload

@@ -1,0 +1,193 @@
+"""Manifest and report rendering for lab runs.
+
+Every ``repro lab run`` leaves a ``runs/<run-id>/`` directory with a
+machine-readable ``manifest.json`` (which jobs ran, which were cache
+hits, where each artifact lives) and a human-readable ``report.md``.
+The module also owns the EXPERIMENTS.md renderer: ``benchmarks/
+run_all.py`` feeds experiment outcomes through
+:func:`render_experiments_markdown`, which reproduces the historical
+report format byte for byte whether the payloads were computed fresh
+or decoded from cached artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lab.executor import ExecutionReport, JobOutcome
+from repro.lab.hashing import decode_rows
+from repro.lab.jobs import EXPERIMENT_KIND, JobSpec
+from repro.lab.store import ArtifactStore
+from repro.report.tables import render_markdown
+
+EXPERIMENTS_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction of every numeric/tabular artifact of Valero et al.,
+"Increasing the Number of Strides for Conflict-Free Vector Access"
+(ISCA 1992).  Regenerate this file with `python benchmarks/run_all.py`;
+each section below is produced by the matching `repro.report.experiments`
+runner and the matching `benchmarks/bench_*` target.
+
+Absolute cycle counts come from this repository's cycle-accurate
+simulator (timing contract: 1-cycle buses, T-cycle modules — the same
+model the paper's latency formulas assume), so the paper's *exact*
+latency and efficiency numbers are expected to match, not just the
+shape.
+
+"""
+
+
+def _record_sections(record: dict, heading: str) -> list[str]:
+    """One report section: table, notes, then the checks table."""
+    sections = [heading]
+    sections.append(
+        render_markdown(record["headers"], decode_rows(record["rows"]))
+    )
+    sections.append("")
+    if record["notes"]:
+        for note in record["notes"]:
+            sections.append(f"*Note: {note}*")
+        sections.append("")
+    sections.append("| check | paper / expected | measured | status |")
+    sections.append("|---|---|---|---|")
+    for check in record["checks"]:
+        mark = "pass" if check["passed"] else "**FAIL**"
+        sections.append(
+            f"| {check['claim']} | {check['expected']} | {check['measured']} "
+            f"| {mark} |"
+        )
+    sections.append("")
+    return sections
+
+
+def render_experiments_markdown(records: list[dict]) -> str:
+    """The EXPERIMENTS.md body for experiment records, historical format."""
+    sections: list[str] = [EXPERIMENTS_HEADER]
+    for record in records:
+        sections.extend(
+            _record_sections(
+                record, f"## {record['job_id']} — {record['title']}\n"
+            )
+        )
+    return "\n".join(sections)
+
+
+def render_lab_report(outcomes: list[JobOutcome], run_id: str) -> str:
+    """The per-run report.md: summary table plus every job's section."""
+    sections = [f"# repro lab report — run `{run_id}`\n"]
+    sections.append("| job | kind | status | elapsed (s) | source |")
+    sections.append("|---|---|---|---|---|")
+    for outcome in outcomes:
+        status = "pass" if outcome.all_passed else "**FAIL**"
+        source = "cache" if outcome.cached else "executed"
+        sections.append(
+            f"| {outcome.spec.job_id} | {outcome.spec.kind} | {status} "
+            f"| {outcome.elapsed_seconds:.2f} | {source} |"
+        )
+    sections.append("")
+    for outcome in outcomes:
+        record = outcome.record
+        sections.extend(
+            _record_sections(
+                record, f"## {record['job_id']} — {record['title']}\n"
+            )
+        )
+    return "\n".join(sections)
+
+
+def write_run_artifacts(
+    store: ArtifactStore, report: ExecutionReport
+) -> Path:
+    """Write manifest.json + report.md for one run; returns the directory."""
+    run_dir = store.runs_dir / report.run_id
+    run_dir.mkdir(parents=True, exist_ok=True)
+    import repro
+    from repro.lab.store import _utc_now
+
+    manifest = {
+        "run_id": report.run_id,
+        "created_at": _utc_now(),
+        "package_version": repro.__version__,
+        "job_count": len(report.outcomes),
+        "cache_hits": report.cache_hits,
+        "executed": report.executed,
+        "failures": [o.spec.job_id for o in report.failures],
+        "elapsed_seconds": report.elapsed_seconds,
+        "jobs": [
+            {
+                "job_id": outcome.spec.job_id,
+                "kind": outcome.spec.kind,
+                "config_hash": outcome.record["config_hash"],
+                "package_version": outcome.record["package_version"],
+                "all_passed": outcome.all_passed,
+                "cached": outcome.cached,
+                "elapsed_seconds": outcome.elapsed_seconds,
+                # Crashed jobs are deliberately not cached, so they have
+                # no artifact file to point at.
+                "artifact": (
+                    str(store.artifact_path(outcome.record["config_hash"]))
+                    if store.artifact_path(
+                        outcome.record["config_hash"]
+                    ).is_file()
+                    else None
+                ),
+            }
+            for outcome in report.outcomes
+        ],
+    }
+    (run_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    (run_dir / "report.md").write_text(
+        render_lab_report(report.outcomes, report.run_id)
+    )
+    return run_dir
+
+
+def cached_records(
+    store: ArtifactStore, registry: dict[str, JobSpec]
+) -> tuple[list[tuple[JobSpec, dict]], list[str]]:
+    """Partition the registry into (spec, cached record) pairs + missing ids.
+
+    The single definition of "is this job cached?" — `repro lab status`
+    and `summarize` both consume it, so they can never disagree.
+    """
+    cached: list[tuple[JobSpec, dict]] = []
+    missing: list[str] = []
+    for job_id in sorted(registry):
+        spec = registry[job_id]
+        record = store.load(spec.config_hash())
+        if record is None:
+            missing.append(job_id)
+        else:
+            cached.append((spec, record))
+    return cached, missing
+
+
+def summarize_cached(
+    store: ArtifactStore, registry: dict[str, JobSpec]
+) -> tuple[str | None, list[str]]:
+    """Markdown over every cached registered job, plus the missing ids.
+
+    Returns ``(None, missing)`` when nothing is cached for the current
+    code — there is nothing to summarise without running.
+    """
+    cached, missing = cached_records(store, registry)
+    if not cached:
+        return None, missing
+    sections = ["# repro lab summary — cached results\n"]
+    experiment_count = sum(
+        1 for spec, _ in cached if spec.kind == EXPERIMENT_KIND
+    )
+    sections.append(
+        f"{len(cached)} cached jobs ({experiment_count} experiments); "
+        f"{len(missing)} registered jobs not cached."
+    )
+    sections.append("")
+    for spec, record in cached:
+        sections.extend(
+            _record_sections(
+                record, f"## {record['job_id']} — {record['title']}\n"
+            )
+        )
+    return "\n".join(sections), missing

@@ -1,0 +1,283 @@
+"""Content-addressed artifact store with a SQLite cross-run index.
+
+Layout under the lab root (default ``.repro-lab/``)::
+
+    artifacts/<config-hash>/result.json   one record per job config
+    runs/<run-id>/manifest.json           written by repro.lab.manifest
+    runs/<run-id>/report.md
+    index.sqlite                          `runs` and `results` tables
+
+The artifact's address is the canonical hash of its job config plus
+the package version (see :mod:`repro.lab.hashing`), so a re-run of an
+unchanged job is a pure cache hit and an interrupted sweep resumes
+from whatever finished.  The SQLite index is a *derived* view — it can
+always be rebuilt from the artifact files (``rebuild_index``), which
+is what ``repro lab index`` does after crashes or manual surgery.
+
+Only the parent orchestration process writes the store; workers hand
+payloads back over the process pool, keeping SQLite single-writer.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import closing
+from pathlib import Path
+
+import repro
+from repro.lab.hashing import canonical_json
+from repro.lab.jobs import JobSpec
+
+RESULT_FILENAME = "result.json"
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    created_at TEXT NOT NULL,
+    package_version TEXT NOT NULL,
+    job_count INTEGER NOT NULL,
+    cache_hits INTEGER NOT NULL,
+    failures INTEGER NOT NULL,
+    elapsed_seconds REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    config_hash TEXT PRIMARY KEY,
+    job_id TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    title TEXT NOT NULL,
+    package_version TEXT NOT NULL,
+    all_passed INTEGER NOT NULL,
+    elapsed_seconds REAL NOT NULL,
+    created_at TEXT NOT NULL,
+    run_id TEXT NOT NULL,
+    artifact_path TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_job ON results (job_id);
+"""
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def default_lab_root() -> str:
+    """The lab root every front end agrees on: $REPRO_LAB_ROOT or .repro-lab."""
+    import os
+
+    return os.environ.get("REPRO_LAB_ROOT", ".repro-lab")
+
+
+class ArtifactStore:
+    """Read/write access to one lab root directory."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else Path(default_lab_root())
+
+    # -- paths -----------------------------------------------------------
+
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.root / "artifacts"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.sqlite"
+
+    def artifact_path(self, config_hash: str) -> Path:
+        return self.artifacts_dir / config_hash / RESULT_FILENAME
+
+    # -- artifacts -------------------------------------------------------
+
+    def load(self, config_hash: str) -> dict | None:
+        """The stored record for one config hash, or None on cache miss.
+
+        A corrupt or unreadable artifact (interrupted write, manual
+        surgery) counts as a miss: the job re-executes and the save
+        overwrites the bad file.
+        """
+        path = self.artifact_path(config_hash)
+        if not path.is_file():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None
+
+    def save(
+        self,
+        spec: JobSpec,
+        payload: dict,
+        *,
+        run_id: str,
+        package_version: str | None = None,
+    ) -> dict:
+        """Persist one job payload; returns the full stored record."""
+        version = package_version or repro.__version__
+        config_hash = spec.config_hash(version)
+        record = dict(payload)
+        record.update(
+            schema=SCHEMA_VERSION,
+            config_hash=config_hash,
+            package_version=version,
+            created_at=_utc_now(),
+            run_id=run_id,
+        )
+        path = self.artifact_path(config_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(canonical_json(record))
+        self._index_record(record)
+        return record
+
+    # -- sqlite index ----------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        self.root.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self.index_path)
+        connection.executescript(_SCHEMA)
+        return connection
+
+    def _insert_result(
+        self, connection: sqlite3.Connection, record: dict
+    ) -> None:
+        connection.execute(
+            "INSERT OR REPLACE INTO results (config_hash, job_id, kind, "
+            "title, package_version, all_passed, elapsed_seconds, "
+            "created_at, run_id, artifact_path) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                record["config_hash"],
+                record["job_id"],
+                record["kind"],
+                record["title"],
+                record["package_version"],
+                int(record["all_passed"]),
+                record["elapsed_seconds"],
+                record["created_at"],
+                record["run_id"],
+                str(self.artifact_path(record["config_hash"])),
+            ),
+        )
+
+    def _insert_run(
+        self,
+        connection: sqlite3.Connection,
+        *,
+        run_id: str,
+        created_at: str,
+        package_version: str,
+        job_count: int,
+        cache_hits: int,
+        failures: int,
+        elapsed_seconds: float,
+    ) -> None:
+        connection.execute(
+            "INSERT OR REPLACE INTO runs (run_id, created_at, "
+            "package_version, job_count, cache_hits, failures, "
+            "elapsed_seconds) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                created_at,
+                package_version,
+                job_count,
+                cache_hits,
+                failures,
+                elapsed_seconds,
+            ),
+        )
+
+    def _index_record(self, record: dict) -> None:
+        with closing(self._connect()) as connection, connection:
+            self._insert_result(connection, record)
+
+    def record_run(
+        self,
+        run_id: str,
+        *,
+        job_count: int,
+        cache_hits: int,
+        failures: int,
+        elapsed_seconds: float,
+        package_version: str | None = None,
+    ) -> None:
+        with closing(self._connect()) as connection, connection:
+            self._insert_run(
+                connection,
+                run_id=run_id,
+                created_at=_utc_now(),
+                package_version=package_version or repro.__version__,
+                job_count=job_count,
+                cache_hits=cache_hits,
+                failures=failures,
+                elapsed_seconds=elapsed_seconds,
+            )
+
+    def runs(self, limit: int = 20) -> list[dict]:
+        """Most recent runs, newest first."""
+        if not self.index_path.is_file():
+            return []
+        with closing(self._connect()) as connection, connection:
+            connection.row_factory = sqlite3.Row
+            rows = connection.execute(
+                "SELECT * FROM runs ORDER BY created_at DESC, run_id DESC "
+                "LIMIT ?",
+                (limit,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def results(self) -> list[dict]:
+        """Every indexed result, ordered by job id."""
+        if not self.index_path.is_file():
+            return []
+        with closing(self._connect()) as connection, connection:
+            connection.row_factory = sqlite3.Row
+            rows = connection.execute(
+                "SELECT * FROM results ORDER BY job_id, created_at"
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def rebuild_index(self) -> int:
+        """Recreate the SQLite index from the files on disk.
+
+        Results come from ``artifacts/*/result.json``, run history from
+        ``runs/*/manifest.json``; corrupt files are skipped.  Returns
+        the number of artifacts indexed.
+        """
+        records = []
+        if self.artifacts_dir.is_dir():
+            for path in sorted(self.artifacts_dir.glob(f"*/{RESULT_FILENAME}")):
+                record = self.load(path.parent.name)
+                if record is not None:
+                    records.append(record)
+        manifests = []
+        if self.runs_dir.is_dir():
+            for path in sorted(self.runs_dir.glob("*/manifest.json")):
+                try:
+                    manifests.append(json.loads(path.read_text()))
+                except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                    continue
+        if self.index_path.exists():
+            self.index_path.unlink()
+        with closing(self._connect()) as connection, connection:
+            for record in records:
+                self._insert_result(connection, record)
+            for manifest in manifests:
+                if "run_id" not in manifest:
+                    continue
+                self._insert_run(
+                    connection,
+                    run_id=manifest["run_id"],
+                    created_at=manifest.get("created_at", ""),
+                    package_version=manifest.get("package_version", ""),
+                    job_count=manifest.get("job_count", 0),
+                    cache_hits=manifest.get("cache_hits", 0),
+                    failures=len(manifest.get("failures", [])),
+                    elapsed_seconds=manifest.get("elapsed_seconds", 0.0),
+                )
+        return len(records)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Callable
 
 from repro.analysis.efficiency import (
     efficiency,
@@ -890,6 +891,23 @@ def run_e15(lambda_exponent: int = 7, t: int = 3, s: int = 4) -> ExperimentResul
             adds <= 2.0,
         )
     return result
+
+
+def registry_entries() -> list[tuple[str, str, Callable[[], ExperimentResult]]]:
+    """Declarative ``(experiment_id, title, runner)`` triples, report order.
+
+    This is the hook ``repro.lab`` uses to wrap every runner as a job:
+    the title comes from the runner's docstring (available without
+    running anything), so a registry can be built cheaply and
+    identically in every worker process.
+    """
+    entries = []
+    for experiment_id in sorted(ALL_EXPERIMENTS):
+        runner = ALL_EXPERIMENTS[experiment_id]
+        doc = (runner.__doc__ or "").strip().splitlines()
+        title = doc[0].rstrip(".") if doc else experiment_id
+        entries.append((experiment_id, title, runner))
+    return entries
 
 
 ALL_EXPERIMENTS = {

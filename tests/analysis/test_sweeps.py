@@ -5,12 +5,57 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.sweeps import (
+    STANDARD_SWEEPS,
+    SweepSpec,
     design_row,
     efficiency_crossover_t,
     sweep_lambda,
     sweep_t,
 )
 from repro.errors import ConfigurationError
+
+
+class TestSweepSpec:
+    def test_standard_sweeps_have_rows(self):
+        for spec in STANDARD_SWEEPS:
+            headers, rows = spec.table()
+            assert headers[0] == "lambda"
+            assert rows
+
+    def test_lambda_spec_matches_sweep_lambda(self):
+        spec = SweepSpec(axis="lambda", fixed=3, start=3, stop=11)
+        assert spec.design_rows() == sweep_lambda(3, range(3, 11))
+
+    def test_t_spec_matches_sweep_t(self):
+        spec = SweepSpec(axis="t", fixed=7, start=0, stop=8)
+        assert spec.design_rows() == sweep_t(7, range(0, 8))
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axis="s", fixed=3, start=0, stop=4)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axis="t", fixed=3, start=4, stop=4)
+
+    def test_infeasible_t_range_rejected(self):
+        # Every t in [5, 8) exceeds lambda=3: nothing would survive the
+        # feasibility filter, so the spec itself must be rejected.
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axis="t", fixed=3, start=5, stop=8)
+
+    def test_infeasible_lambda_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axis="lambda", fixed=6, start=2, stop=5)
+
+    def test_negative_fixed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axis="t", fixed=-1, start=-3, stop=0)
+
+    def test_negative_t_range_rejected(self):
+        # All-negative t values would be filtered to an empty table.
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axis="t", fixed=3, start=-5, stop=0)
 
 
 class TestDesignRow:

@@ -1,0 +1,158 @@
+"""CLI tests for `repro lab ...`, `--version`, and failure exit codes.
+
+The CLI docstring promises a non-zero exit status whenever an
+experiment check fails; these tests pin that contract for both
+`repro experiments` and `repro lab run` by swapping in a deliberately
+failing runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, package_version
+from repro.report.experiments import ALL_EXPERIMENTS, ExperimentResult
+
+
+def failing_e01() -> ExperimentResult:
+    """A runner whose paper-vs-measured check always fails."""
+    result = ExperimentResult("E01", "forced failure", ["value"], [[1]])
+    result.check("paper claim that cannot hold", 1, 2)
+    return result
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {package_version()}" in capsys.readouterr().out
+
+    def test_package_version_matches_source_fallback(self):
+        import repro
+
+        assert package_version() in (repro.__version__, package_version())
+        assert package_version()
+
+
+class TestExperimentsExitCodes:
+    def test_failing_check_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setitem(ALL_EXPERIMENTS, "E01", failing_e01)
+        exit_code = main(["experiments", "--ids", "E01"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "FAIL" in captured.out
+        assert "1 checks FAILED" in captured.err
+
+
+class TestLabRun:
+    def test_run_and_cached_rerun(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        assert (
+            main(["lab", "run", "--ids", "E01,S-t", "--jobs", "1", "--root", root])
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert "0 cache hits, 2 executed" in first
+        assert "manifest:" in first
+        assert (
+            main(["lab", "run", "--ids", "E01,S-t", "--jobs", "1", "--root", root])
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "2 cache hits, 0 executed" in second
+
+    def test_ids_are_case_insensitive(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        exit_code = main(
+            ["lab", "run", "--ids", "e01,s-t", "--jobs", "1", "--root", root]
+        )
+        assert exit_code == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+    def test_all_and_ids_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "lab",
+                    "run",
+                    "--all",
+                    "--ids",
+                    "E01",
+                    "--root",
+                    str(tmp_path / "lab"),
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_unknown_id_exits_two(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "lab",
+                "run",
+                "--ids",
+                "E99",
+                "--jobs",
+                "1",
+                "--root",
+                str(tmp_path / "lab"),
+            ]
+        )
+        assert exit_code == 2
+        assert "unknown job ids: E99" in capsys.readouterr().err
+
+    def test_failing_check_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setitem(ALL_EXPERIMENTS, "E01", failing_e01)
+        exit_code = main(
+            [
+                "lab",
+                "run",
+                "--ids",
+                "E01",
+                "--jobs",
+                "1",
+                "--root",
+                str(tmp_path / "lab"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "FAIL" in captured.out
+        assert "failed jobs: E01" in captured.err
+
+
+class TestLabStatusSummarizeIndex:
+    def test_status_before_and_after_run(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        assert main(["lab", "status", "--root", root]) == 0
+        empty = capsys.readouterr().out
+        assert "cached:   0/" in empty
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        assert main(["lab", "status", "--root", root]) == 0
+        full = capsys.readouterr().out
+        assert "cached:   1/" in full
+        assert "E01" in full
+
+    def test_summarize_without_cache_fails(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        assert main(["lab", "summarize", "--root", root]) == 1
+        assert "no cached results" in capsys.readouterr().err
+
+    def test_summarize_writes_markdown(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        output = tmp_path / "SUM.md"
+        assert (
+            main(["lab", "summarize", "--root", root, "--output", str(output)])
+            == 0
+        )
+        assert "## E01" in output.read_text()
+
+    def test_index_rebuild(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        main(["lab", "run", "--ids", "E01,S-t", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        assert main(["lab", "index", "--root", root]) == 0
+        assert "indexed 2 artifacts" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Tests for the cache-aware parallel executor."""
+
+from __future__ import annotations
+
+from repro.lab.executor import default_worker_count, run_jobs
+from repro.lab.jobs import build_registry
+from repro.lab.store import ArtifactStore
+
+FAST_JOBS = ("E01", "E02", "S-lambda", "S-t")
+
+
+def fast_specs():
+    registry = build_registry()
+    return [registry[job_id] for job_id in FAST_JOBS]
+
+
+class TestRunJobs:
+    def test_parallel_then_fully_cached(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        first = run_jobs(fast_specs(), store=store, workers=2)
+        assert first.cache_hits == 0
+        assert first.executed == len(FAST_JOBS)
+        assert first.all_passed
+
+        second = run_jobs(fast_specs(), store=store, workers=2)
+        assert second.cache_hits == len(FAST_JOBS)
+        assert second.executed == 0
+        # Cached records carry the exact same tables.
+        for before, after in zip(first.outcomes, second.outcomes):
+            assert before.record["rows"] == after.record["rows"]
+            assert before.record["config_hash"] == after.record["config_hash"]
+
+    def test_deterministic_job_id_order(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        specs = list(reversed(fast_specs()))
+        report = run_jobs(specs, store=store, workers=2)
+        assert [o.spec.job_id for o in report.outcomes] == sorted(FAST_JOBS)
+
+    def test_serial_matches_parallel(self, tmp_path):
+        parallel_store = ArtifactStore(tmp_path / "parallel")
+        serial_store = ArtifactStore(tmp_path / "serial")
+        parallel = run_jobs(fast_specs(), store=parallel_store, workers=2)
+        serial = run_jobs(fast_specs(), store=serial_store, workers=1)
+        for left, right in zip(parallel.outcomes, serial.outcomes):
+            assert left.record["rows"] == right.record["rows"]
+            assert left.record["checks"] == right.record["checks"]
+
+    def test_force_re_executes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        run_jobs(fast_specs()[:1], store=store, workers=1)
+        forced = run_jobs(fast_specs()[:1], store=store, workers=1, force=True)
+        assert forced.cache_hits == 0
+        assert forced.executed == 1
+
+    def test_partial_cache_resumes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        run_jobs(fast_specs()[:2], store=store, workers=1)
+        report = run_jobs(fast_specs(), store=store, workers=2)
+        assert report.cache_hits == 2
+        assert report.executed == 2
+
+    def test_progress_lines(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        lines: list[str] = []
+        run_jobs(fast_specs()[:2], store=store, workers=1, progress=lines.append)
+        assert len(lines) == 2
+        assert all("PASS" in line for line in lines)
+        cached_lines: list[str] = []
+        run_jobs(
+            fast_specs()[:2], store=store, workers=1, progress=cached_lines.append
+        )
+        assert all("[cached]" in line for line in cached_lines)
+
+    def test_runs_are_recorded(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        report = run_jobs(fast_specs()[:2], store=store, workers=1)
+        runs = store.runs()
+        assert len(runs) == 1
+        assert runs[0]["run_id"] == report.run_id
+        assert runs[0]["job_count"] == 2
+
+
+class TestRaisingJobs:
+    def test_raising_job_is_a_failed_outcome_not_a_crash(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.report.experiments import ALL_EXPERIMENTS
+
+        def explode():
+            raise RuntimeError("simulator blew up")
+
+        explode.__doc__ = "Explodes."
+        monkeypatch.setitem(ALL_EXPERIMENTS, "E01", explode)
+        store = ArtifactStore(tmp_path / "lab")
+        report = run_jobs(
+            [build_registry()["E01"], build_registry()["E02"]],
+            store=store,
+            workers=1,
+        )
+        assert not report.all_passed
+        assert [o.spec.job_id for o in report.failures] == ["E01"]
+        failed = report.outcomes[0].record
+        assert "RuntimeError: simulator blew up" in failed["checks"][0]["measured"]
+        # The failure is not cached — and E02 still completed and cached.
+        assert store.load(build_registry()["E01"].config_hash()) is None
+        assert store.load(build_registry()["E02"].config_hash()) is not None
+        # The run is still recorded despite the crash.
+        assert len(store.runs()) == 1
+
+    def test_raising_job_retries_on_next_run(self, tmp_path, monkeypatch):
+        from repro.report.experiments import ALL_EXPERIMENTS
+
+        def explode():
+            raise RuntimeError("transient")
+
+        explode.__doc__ = "Explodes."
+        monkeypatch.setitem(ALL_EXPERIMENTS, "E01", explode)
+        store = ArtifactStore(tmp_path / "lab")
+        spec = build_registry()["E01"]
+        assert not run_jobs([spec], store=store, workers=1).all_passed
+        monkeypatch.undo()
+        healed = run_jobs([spec], store=store, workers=1)
+        assert healed.all_passed
+        assert healed.executed == 1
+
+
+class TestDefaults:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1

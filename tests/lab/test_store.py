@@ -1,0 +1,135 @@
+"""Tests for the content-addressed artifact store and SQLite index."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lab.jobs import JobSpec
+from repro.lab.store import ArtifactStore
+
+SPEC = JobSpec("E01", "experiment", "Figure 3 layout")
+PAYLOAD = {
+    "job_id": "E01",
+    "kind": "experiment",
+    "title": "Figure 3: XOR mapping layout",
+    "headers": ["row", "mod0"],
+    "rows": [[0, 0], [1, 9]],
+    "checks": [
+        {"claim": "layout", "expected": "x", "measured": "x", "passed": True}
+    ],
+    "notes": [],
+    "all_passed": True,
+    "elapsed_seconds": 0.25,
+}
+
+
+class TestArtifactStore:
+    def test_miss_then_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        config_hash = SPEC.config_hash("1.0.0")
+        assert store.load(config_hash) is None
+        record = store.save(
+            SPEC, PAYLOAD, run_id="r1", package_version="1.0.0"
+        )
+        loaded = store.load(config_hash)
+        assert loaded == record
+        assert loaded["rows"] == PAYLOAD["rows"]
+        assert loaded["config_hash"] == config_hash
+        assert loaded["package_version"] == "1.0.0"
+
+    def test_artifact_is_content_addressed_json(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        record = store.save(
+            SPEC, PAYLOAD, run_id="r1", package_version="1.0.0"
+        )
+        path = store.artifact_path(record["config_hash"])
+        assert path.is_file()
+        assert json.loads(path.read_text())["job_id"] == "E01"
+
+    def test_version_bump_is_a_cache_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        store.save(SPEC, PAYLOAD, run_id="r1", package_version="1.0.0")
+        assert store.load(SPEC.config_hash("9.9.9")) is None
+
+    def test_index_rows(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        store.save(SPEC, PAYLOAD, run_id="r1", package_version="1.0.0")
+        store.record_run(
+            "r1",
+            job_count=1,
+            cache_hits=0,
+            failures=0,
+            elapsed_seconds=0.5,
+            package_version="1.0.0",
+        )
+        results = store.results()
+        assert len(results) == 1
+        assert results[0]["job_id"] == "E01"
+        assert results[0]["all_passed"] == 1
+        runs = store.runs()
+        assert len(runs) == 1
+        assert runs[0]["run_id"] == "r1"
+        assert runs[0]["job_count"] == 1
+
+    def test_save_overwrites_same_config(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        store.save(SPEC, PAYLOAD, run_id="r1", package_version="1.0.0")
+        changed = dict(PAYLOAD, all_passed=False)
+        store.save(SPEC, changed, run_id="r2", package_version="1.0.0")
+        assert store.load(SPEC.config_hash("1.0.0"))["all_passed"] is False
+        assert len(store.results()) == 1
+
+    def test_rebuild_index_from_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        store.save(SPEC, PAYLOAD, run_id="r1", package_version="1.0.0")
+        other = JobSpec("S-t", "sweep", "sweep t")
+        store.save(
+            other,
+            dict(PAYLOAD, job_id="S-t", kind="sweep"),
+            run_id="r1",
+            package_version="1.0.0",
+        )
+        store.index_path.unlink()
+        assert store.results() == []
+        assert store.rebuild_index() == 2
+        assert [row["job_id"] for row in store.results()] == ["E01", "S-t"]
+
+    def test_corrupt_artifact_is_a_cache_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        record = store.save(
+            SPEC, PAYLOAD, run_id="r1", package_version="1.0.0"
+        )
+        store.artifact_path(record["config_hash"]).write_text("GARBAGE{")
+        assert store.load(record["config_hash"]) is None
+        # rebuild_index skips it instead of crashing.
+        assert store.rebuild_index() == 0
+
+    def test_rebuild_index_restores_run_history(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        run_dir = store.runs_dir / "r1"
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text(
+            json.dumps(
+                {
+                    "run_id": "r1",
+                    "created_at": "2026-07-29T00:00:00Z",
+                    "package_version": "1.0.0",
+                    "job_count": 3,
+                    "cache_hits": 1,
+                    "failures": ["E05"],
+                    "elapsed_seconds": 1.5,
+                }
+            )
+        )
+        store.rebuild_index()
+        runs = store.runs()
+        assert len(runs) == 1
+        assert runs[0]["run_id"] == "r1"
+        assert runs[0]["failures"] == 1
+        assert runs[0]["cache_hits"] == 1
+
+    def test_empty_store_queries(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        assert store.results() == []
+        assert store.runs() == []
+        assert store.rebuild_index() == 0

@@ -20,7 +20,8 @@ class TestRunAll:
     def test_writes_full_report(self, tmp_path, capsys):
         run_all = load_run_all()
         target = tmp_path / "EXPERIMENTS.md"
-        exit_code = run_all.main(str(target))
+        lab_root = str(tmp_path / "lab")
+        exit_code = run_all.main(str(target), lab_root=lab_root)
         assert exit_code == 0
         text = target.read_text()
         # One section per experiment, every check passing.
@@ -30,3 +31,11 @@ class TestRunAll:
         assert "| check | paper / expected | measured | status |" in text
         progress = capsys.readouterr().out
         assert progress.count("PASS") >= 15
+
+        # A second generation is served from the artifact cache and is
+        # byte-identical to the freshly computed report.
+        warm_target = tmp_path / "EXPERIMENTS2.md"
+        assert run_all.main(str(warm_target), lab_root=lab_root) == 0
+        warm_progress = capsys.readouterr().out
+        assert warm_progress.count("[cached]") >= 15
+        assert warm_target.read_bytes() == target.read_bytes()
