@@ -19,6 +19,45 @@ Quickstart::
     plan = planner.plan(VectorAccess(base=16, stride=12, length=128))
     result = MemorySystem(MemoryConfig.matched(3, design.s)).run_plan(plan)
     assert result.conflict_free and result.latency == 8 + 128 + 1
+
+Or declaratively, through the scenario API (one serializable spec per
+machine + workload design point)::
+
+    from repro import ComponentSpec, MemorySpec, ScenarioSpec, simulate
+
+    result = simulate(ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+    ))
+    assert result.conflict_free and result.latency == 8 + 128 + 1
+
+Module map
+----------
+
+* :mod:`repro.core` — vectors, stride families, subsequence
+  decompositions, orderings, the access planner, conflict-free windows;
+* :mod:`repro.mappings` — every address-mapping scheme (interleaved,
+  skewed, Eq. (1)/(2) XOR, GF(2) matrix, pseudo-random, dynamic);
+* :mod:`repro.memory` — the cycle-accurate Figure 2 multi-module
+  memory simulator and its configuration;
+* :mod:`repro.hardware` — register-level models of the Figures 4-6
+  address-generation hardware;
+* :mod:`repro.processor` — the decoupled access/execute vector machine
+  with LOAD->EXECUTE chaining, its ISA and assembler;
+* :mod:`repro.workloads` — stride populations, kernel access patterns
+  and gather/scatter index generators;
+* :mod:`repro.analysis` — the Section 5 analytic models (fractions,
+  efficiency, trade-offs) and design-space sweeps;
+* :mod:`repro.scenarios` — declarative, JSON-serializable scenario
+  specs + the ``simulate()`` facade over all of the above;
+* :mod:`repro.report` — experiment runners (E01..E16) and table/figure
+  rendering;
+* :mod:`repro.lab` — parallel experiment orchestration with
+  content-addressed result caching and cross-run diffing;
+* :mod:`repro.cli` — the ``repro`` command line
+  (``plan``/``window``/``experiments``/``survey``/``run``/
+  ``scenario``/``lab``).
 """
 
 from repro.core import (
@@ -63,14 +102,24 @@ from repro.mappings import (
     XorMatrixMapping,
 )
 from repro.memory import AccessResult, MemoryConfig, MemorySystem
+from repro.scenarios import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioGrid,
+    ScenarioResult,
+    ScenarioSpec,
+    build_machine,
+    simulate,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessPlan",
     "AccessPlanner",
     "AccessResult",
     "AddressMapping",
+    "ComponentSpec",
     "CompositePlan",
     "ConfigurationError",
     "FieldInterleaved",
@@ -79,6 +128,7 @@ __all__ = [
     "MatchedDesign",
     "MatchedXorMapping",
     "MemoryConfig",
+    "MemorySpec",
     "MemorySystem",
     "OrderingError",
     "ProgramError",
@@ -86,6 +136,9 @@ __all__ = [
     "RegisterFileError",
     "ReproError",
     "RequestOrder",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
     "SectionXorMapping",
     "SimulationError",
     "SkewedMapping",
@@ -96,6 +149,7 @@ __all__ = [
     "VectorSpecError",
     "Window",
     "XorMatrixMapping",
+    "build_machine",
     "build_subsequences",
     "decompose_stride",
     "family_of",
@@ -104,6 +158,7 @@ __all__ = [
     "plan_short_vector",
     "recommended_s",
     "recommended_y",
+    "simulate",
     "unmatched_windows",
     "__version__",
 ]

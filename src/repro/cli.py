@@ -7,7 +7,11 @@ Usage (also via ``python -m repro``)::
     repro window --lam 7 --t 3 --unmatched
     repro experiments --ids E01,E03 --output EXPERIMENTS.md
     repro survey --t 3 --s 4 --max-stride 32
+    repro scenario run examples/scenario_matched_stride12.json
+    repro scenario list
     repro lab run --all --jobs 8
+    repro lab run --ids E03 --param E03:lambda_exponent=8
+    repro lab diff 20260729T120000Z-aaaa 20260729T130000Z-bbbb
     repro lab status
     repro lab summarize --output SUMMARY.md
 
@@ -154,6 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute even when a cached artifact exists",
     )
+    lab_run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="JOB:KEY=VALUE",
+        help=(
+            "override one experiment runner kwarg (repeatable), e.g. "
+            "E03:lambda_exponent=8; overridden jobs cache separately "
+            "per design point"
+        ),
+    )
     lab_run.add_argument("--root", default=None, help=root_help)
 
     lab_status = lab_commands.add_parser(
@@ -173,6 +188,55 @@ def build_parser() -> argparse.ArgumentParser:
         "index", help="rebuild the SQLite index from the artifact files"
     )
     lab_index.add_argument("--root", default=None, help=root_help)
+
+    lab_diff = lab_commands.add_parser(
+        "diff",
+        help="compare two recorded runs' cached artifacts (exit 1 on "
+        "regression)",
+    )
+    lab_diff.add_argument("run_a", help="baseline run id (see `lab status`)")
+    lab_diff.add_argument("run_b", help="candidate run id")
+    lab_diff.add_argument("--root", default=None, help=root_help)
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="declarative machine + workload specs (JSON in, metrics out)",
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_run = scenario_commands.add_parser(
+        "run", help="simulate scenario specs (or grids) from JSON files"
+    )
+    scenario_run.add_argument(
+        "files", nargs="+", help="JSON files: one spec, a grid, or a list"
+    )
+    scenario_run.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print results as a JSON array instead of tables",
+    )
+    scenario_run.add_argument(
+        "--lab",
+        action="store_true",
+        help="execute through the lab (parallel, content-addressed cache)",
+    )
+    scenario_run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --lab (default: one per CPU)",
+    )
+    scenario_run.add_argument(
+        "--force", action="store_true", help="with --lab: ignore the cache"
+    )
+    scenario_run.add_argument("--root", default=None, help=root_help)
+
+    scenario_commands.add_parser(
+        "list", help="show every registered mapping/workload/drive kind"
+    )
 
     run = commands.add_parser(
         "run", help="execute a vector-assembly file on the decoupled machine"
@@ -328,6 +392,26 @@ def command_lab(args: argparse.Namespace) -> int:
             specs = [registry[job_id] for job_id in dict.fromkeys(wanted)]
         else:
             specs = list(registry.values())
+        overrides = _parse_param_overrides(args.param)
+        if overrides:
+            from repro.errors import ConfigurationError
+            from repro.lab import experiment_spec
+
+            # An override that matches no selected job would otherwise
+            # silently run the default design point under a PASS banner.
+            selected = {spec.job_id for spec in specs}
+            unmatched = sorted(set(overrides) - selected)
+            if unmatched:
+                raise ConfigurationError(
+                    f"--param job id(s) {', '.join(unmatched)} are not in "
+                    f"the selected jobs ({', '.join(sorted(selected))})"
+                )
+            specs = [
+                experiment_spec(spec.job_id, **overrides[spec.job_id])
+                if spec.job_id in overrides
+                else spec
+                for spec in specs
+            ]
         report = run_jobs(
             specs,
             store=store,
@@ -410,8 +494,123 @@ def command_lab(args: argparse.Namespace) -> int:
             print(markdown)
         return 0
 
+    if args.lab_command == "diff":
+        from repro.lab import diff_runs, render_diff
+
+        diff = diff_runs(store, args.run_a, args.run_b)
+        print(render_diff(diff))
+        return 1 if diff.has_regressions else 0
+
     count = store.rebuild_index()
     print(f"indexed {count} artifacts into {store.index_path}")
+    return 0
+
+
+def _parse_param_overrides(items: list[str]) -> dict[str, dict]:
+    """``JOB:KEY=VALUE`` strings to ``{job_id: {key: value}}``.
+
+    Values parse as JSON when possible (so ``8`` is an int and
+    ``true`` a bool) and fall back to plain strings.
+    """
+    import json
+
+    from repro.errors import ConfigurationError
+
+    overrides: dict[str, dict] = {}
+    for item in items:
+        head, separator, raw = item.partition("=")
+        job_id, colon, key = head.partition(":")
+        if not separator or not colon or not job_id or not key:
+            raise ConfigurationError(
+                f"bad --param {item!r}; expected JOB:KEY=VALUE "
+                "(e.g. E03:lambda_exponent=8)"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides.setdefault(job_id.strip().upper(), {})[key.strip()] = value
+    return overrides
+
+
+def command_scenario(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import (
+        CATEGORIES,
+        example_params,
+        kinds,
+        load_scenarios,
+        simulate,
+        summary,
+    )
+
+    if args.scenario_command == "list":
+        for category in CATEGORIES:
+            print(f"{category} kinds:")
+            for kind in kinds(category):
+                example = example_params(category, kind)
+                print(f"  {kind:20s} {summary(category, kind)}")
+                print(f"  {'':20s} example params: {example}")
+            print()
+        return 0
+
+    specs = []
+    for filename in args.files:
+        path = Path(filename)
+        if not path.is_file():
+            print(f"no such scenario file: {filename}", file=sys.stderr)
+            return 2
+        specs.extend(load_scenarios(path.read_text()))
+    if not specs:
+        print("no scenarios found in the given files", file=sys.stderr)
+        return 2
+
+    if args.lab:
+        from repro.lab import (
+            ArtifactStore,
+            default_lab_root,
+            run_jobs,
+            scenario_job,
+            write_run_artifacts,
+        )
+
+        store = ArtifactStore(args.root or default_lab_root())
+        jobs = [scenario_job(spec) for spec in specs]
+        report = run_jobs(
+            jobs,
+            store=store,
+            workers=args.jobs,
+            force=args.force,
+            progress=print,
+        )
+        run_dir = write_run_artifacts(store, report)
+        print(
+            f"run {report.run_id}: {len(report.outcomes)} scenarios, "
+            f"{report.cache_hits} cache hits, {report.executed} executed"
+        )
+        print(f"manifest: {run_dir / 'manifest.json'}")
+        return 1 if report.failures else 0
+
+    results = [(spec, simulate(spec)) for spec in specs]
+    if args.as_json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {"spec": spec.to_dict(), "result": result.to_dict()}
+                    for spec, result in results
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for spec, result in results:
+        print(f"== {spec.describe()}")
+        print(render_table(["metric", "value"], result.metric_rows()))
+        print()
     return 0
 
 
@@ -514,6 +713,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "survey": command_survey,
         "run": command_run,
         "lab": command_lab,
+        "scenario": command_scenario,
     }
     try:
         return handlers[args.command](args)

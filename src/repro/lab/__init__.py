@@ -5,12 +5,17 @@ paper-reproduction experiments, the design-space sweeps and the A1..A7
 ablation benches — into declaratively-specified jobs that fan out over
 a process pool and land in a content-addressed artifact store:
 
-* :mod:`repro.lab.jobs` — the job registry and worker entry point;
+* :mod:`repro.lab.jobs` — the job registry and worker entry point,
+  including parameterised experiment jobs (``experiment_spec``) and
+  scenario jobs (``scenario_job``) whose params carry a full
+  :class:`repro.scenarios.ScenarioSpec` into the cache key;
 * :mod:`repro.lab.hashing` — canonical config hashing + cell codecs;
 * :mod:`repro.lab.store` — JSON artifacts + SQLite cross-run index;
 * :mod:`repro.lab.executor` — cache-aware ``ProcessPoolExecutor`` fan-out;
 * :mod:`repro.lab.manifest` — per-run manifest.json / report.md and the
-  byte-stable EXPERIMENTS.md renderer.
+  byte-stable EXPERIMENTS.md renderer;
+* :mod:`repro.lab.diffing` — cross-run regression diffing
+  (``repro lab diff``).
 
 Quickstart::
 
@@ -26,6 +31,13 @@ Quickstart::
 The CLI front end is ``repro lab run|status|summarize|index``.
 """
 
+from repro.lab.diffing import (
+    JobDiff,
+    RunDiff,
+    UnknownRunError,
+    diff_runs,
+    render_diff,
+)
 from repro.lab.executor import (
     ExecutionReport,
     JobOutcome,
@@ -42,12 +54,15 @@ from repro.lab.hashing import (
 from repro.lab.jobs import (
     ABLATION_KIND,
     EXPERIMENT_KIND,
+    SCENARIO_KIND,
     SWEEP_KIND,
     JobSpec,
     UnknownJobError,
     build_registry,
     execute_job,
+    experiment_spec,
     resolve,
+    scenario_job,
 )
 from repro.lab.manifest import (
     cached_records,
@@ -64,10 +79,14 @@ __all__ = [
     "ArtifactStore",
     "EXPERIMENT_KIND",
     "ExecutionReport",
+    "JobDiff",
     "JobOutcome",
     "JobSpec",
+    "RunDiff",
+    "SCENARIO_KIND",
     "SWEEP_KIND",
     "UnknownJobError",
+    "UnknownRunError",
     "build_registry",
     "cached_records",
     "canonical_json",
@@ -75,12 +94,16 @@ __all__ = [
     "decode_rows",
     "default_lab_root",
     "default_worker_count",
+    "diff_runs",
     "encode_rows",
     "execute_job",
+    "experiment_spec",
+    "render_diff",
     "render_experiments_markdown",
     "render_lab_report",
     "resolve",
     "run_jobs",
+    "scenario_job",
     "summarize_cached",
     "write_run_artifacts",
 ]

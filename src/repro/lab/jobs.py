@@ -1,13 +1,18 @@
 """The job registry: every runnable artifact of the repo as one job.
 
-Three kinds of jobs, all declaratively specified and content-hashable:
+Four kinds of jobs, all declaratively specified and content-hashable:
 
 * ``experiment`` — one ``repro.report.experiments`` runner (E01..E16),
+  optionally with explicit keyword parameters (lambda/t/s/y...) so
+  sweep-style grids cache one artifact per design point;
 * ``sweep`` — one :class:`repro.analysis.sweeps.SweepSpec` design-space
-  sweep (S-lambda, S-t),
+  sweep (S-lambda, S-t);
 * ``ablation`` — one ablation bench's row builder from ``benchmarks/``
   (A1..A7), imported by file path so the bench modules stay the single
-  source of truth.
+  source of truth;
+* ``scenario`` — one :class:`repro.scenarios.ScenarioSpec`, carried
+  verbatim (as canonical JSON) in the job params, so every distinct
+  machine + workload design point is a distinct cache entry.
 
 A :class:`JobSpec` carries no callables, only strings and ints, so it
 pickles trivially and hashes canonically; worker processes rebuild the
@@ -21,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import importlib.util
+import inspect
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -39,6 +45,7 @@ from repro.report.experiments import (
 EXPERIMENT_KIND = "experiment"
 SWEEP_KIND = "sweep"
 ABLATION_KIND = "ablation"
+SCENARIO_KIND = "scenario"
 
 
 class UnknownJobError(ReproError):
@@ -208,6 +215,91 @@ def resolve(job_id: str, registry: dict[str, JobSpec] | None = None) -> JobSpec:
         raise UnknownJobError(f"unknown job id {job_id!r}") from None
 
 
+def _experiment_base_id(job_id: str) -> str:
+    """The registry experiment behind a (possibly parameterised) job id.
+
+    Parameterised jobs encode their overrides in the id —
+    ``E03[lambda_exponent=8,t=4]`` — so distinct design points keep
+    distinct ids within one batch while still resolving to ``run_e03``.
+    """
+    return job_id.split("[", 1)[0]
+
+
+def _validated_experiment_params(
+    experiment_id: str, params: dict
+) -> dict:
+    """Check overrides against the runner's signature; returns kwargs.
+
+    Rejecting unknown names here (rather than letting the call raise
+    ``TypeError`` in a worker) keeps the failure a clear
+    :class:`UnknownJobError` naming the accepted parameters — and
+    guarantees a spec never silently computes something other than what
+    its config hash says.
+    """
+    try:
+        runner = ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise UnknownJobError(
+            f"unknown experiment id {experiment_id!r}"
+        ) from None
+    accepted = inspect.signature(runner).parameters
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        raise UnknownJobError(
+            f"experiment {experiment_id} does not accept param(s) "
+            f"{', '.join(unknown)} (accepted: "
+            f"{', '.join(accepted) or 'none'})"
+        )
+    return dict(params)
+
+
+def experiment_spec(experiment_id: str, **overrides) -> JobSpec:
+    """A (possibly parameterised) experiment job.
+
+    With no overrides this is exactly the registry entry — same id,
+    same (empty) params, same config hash, so default runs keep hitting
+    the historical cache entries.  With overrides, the kwargs are
+    validated against the runner's signature, folded into the job id
+    and hashed into the config, making every design point its own cache
+    entry.
+    """
+    from repro.scenarios.spec import freeze_params
+
+    base = resolve(experiment_id)
+    if not overrides:
+        return base
+    params = freeze_params(
+        _validated_experiment_params(experiment_id, overrides)
+    )
+    suffix = ",".join(f"{key}={value}" for key, value in params)
+    return JobSpec(
+        f"{experiment_id}[{suffix}]",
+        EXPERIMENT_KIND,
+        f"{base.title} ({suffix})",
+        params,
+    )
+
+
+def scenario_job(scenario) -> JobSpec:
+    """Wrap one :class:`repro.scenarios.ScenarioSpec` as a lab job.
+
+    The spec travels verbatim (canonical JSON) in the job params, so
+    the config hash — and therefore the artifact address — covers every
+    field of the design point.  The job id embeds a short digest of
+    that JSON: two different specs can never collide in one batch, even
+    when they share a ``name``.
+    """
+    text = scenario.to_json()
+    digest = hashlib.sha256(text.encode("ascii")).hexdigest()[:10]
+    label = f"{scenario.name}-{digest}" if scenario.name else digest
+    return JobSpec(
+        f"SC-{label}",
+        SCENARIO_KIND,
+        scenario.describe(),
+        (("spec", text),),
+    )
+
+
 def _load_bench_module(stem: str):
     directory = benchmarks_dir()
     if directory is None:
@@ -254,18 +346,38 @@ def _table_payload(title: str, headers, rows) -> dict:
     }
 
 
+def _scenario_payload(spec: JobSpec) -> dict:
+    from repro.scenarios import ScenarioSpec, simulate
+
+    params = dict(spec.params)
+    if "spec" not in params:
+        raise UnknownJobError(
+            f"scenario job {spec.job_id!r} carries no 'spec' param"
+        )
+    scenario = ScenarioSpec.from_json(params["spec"])
+    result = simulate(scenario)
+    payload = _table_payload(
+        spec.title or scenario.describe(),
+        ["metric", "value"],
+        result.metric_rows(),
+    )
+    payload["notes"] = [scenario.describe()]
+    return payload
+
+
 def execute_job(job: str | JobSpec) -> dict:
     """Run one job and return its JSON-safe payload (worker entry point).
 
     Accepts either a job id (resolved against the registry) or a full
     :class:`JobSpec` — the form the executor ships to workers, so that
     the executed config is exactly the one the result is cached under.
-    Experiment and ablation jobs cannot carry custom params yet (see
-    ROADMAP); a spec whose params differ from the registry's is
-    rejected rather than silently computing the registry default.
+    Experiment params are validated against the runner's signature;
+    ablation jobs cannot carry custom params, and a spec whose params
+    differ from the registry's is rejected rather than silently
+    computing the registry default.
     """
     spec = resolve(job) if isinstance(job, str) else job
-    if spec.kind != SWEEP_KIND:
+    if spec.kind == ABLATION_KIND:
         registered = resolve(spec.job_id)
         if spec.params != registered.params:
             raise UnknownJobError(
@@ -275,7 +387,11 @@ def execute_job(job: str | JobSpec) -> dict:
             )
     started = time.perf_counter()
     if spec.kind == EXPERIMENT_KIND:
-        payload = _experiment_payload(ALL_EXPERIMENTS[spec.job_id]())
+        base_id = _experiment_base_id(spec.job_id)
+        kwargs = _validated_experiment_params(base_id, dict(spec.params))
+        payload = _experiment_payload(ALL_EXPERIMENTS[base_id](**kwargs))
+    elif spec.kind == SCENARIO_KIND:
+        payload = _scenario_payload(spec)
     elif spec.kind == SWEEP_KIND:
         params = dict(spec.params)
         sweep = SweepSpec(

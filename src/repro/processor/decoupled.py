@@ -143,6 +143,11 @@ class DecoupledVectorMachine:
         self.memory = MemorySystem(config)
         self.store = MemoryStore(config.mapping)
         self.registers = VectorRegisterFile(register_count, register_length)
+        #: Per-access memory simulator results of the latest :meth:`run`,
+        #: in instruction order — one entry per LOAD/STORE/GATHER/SCATTER.
+        #: Lets callers (e.g. the scenario facade) read latency, stalls
+        #: and module utilisation without re-simulating the access.
+        self.memory_access_results: list = []
 
     def run(self, program: Program) -> MachineResult:
         """Execute ``program`` to completion; returns cycle accounting.
@@ -157,6 +162,7 @@ class DecoupledVectorMachine:
             if self.registers.register(number).valid_count > 0
         }
         program.validate(self.register_count, predefined=already_loaded)
+        self.memory_access_results = []
         timings: list[InstructionTiming] = []
         memory_free = 1
         execute_free = 1
@@ -232,6 +238,7 @@ class DecoupledVectorMachine:
         vector = self._vector_for(instruction)
         plan = self.planner.plan(vector, mode=self.plan_mode)
         result = self.memory.run_plan(plan)
+        self.memory_access_results.append(result)
         start = memory_free
         offset = start - 1
 
@@ -272,6 +279,7 @@ class DecoupledVectorMachine:
         result = self.memory.run_stream(
             plan.request_stream(), stores=range(vector.length)
         )
+        self.memory_access_results.append(result)
         register = self.registers.register(instruction.src)
         for element_index, address in plan.request_stream():
             self.store.write(address, register.read(element_index))
@@ -317,6 +325,7 @@ class DecoupledVectorMachine:
             self.config.mapping, self.config.t, access, mode=self.gather_mode
         )
         result = self.memory.run_stream(plan.request_stream())
+        self.memory_access_results.append(result)
         # The gather cannot start before its index register is complete.
         start = max(memory_free, register_ready[instruction.index] + 1)
         offset = start - 1
@@ -361,6 +370,7 @@ class DecoupledVectorMachine:
         result = self.memory.run_stream(
             plan.request_stream(), stores=range(access.length)
         )
+        self.memory_access_results.append(result)
         source = self.registers.register(instruction.src)
         for element, address in plan.request_stream():
             self.store.write(address, source.read(element))

@@ -5,6 +5,14 @@ experiment index in DESIGN.md) and returns an :class:`ExperimentResult`
 carrying the table rows plus explicit paper-vs-measured checks.  The
 ``benchmarks/`` suite wraps these in pytest-benchmark targets, and
 ``benchmarks/run_all.py`` renders them into EXPERIMENTS.md.
+
+Machines are constructed through :mod:`repro.scenarios` specs (see
+:func:`_spec_machine`), so every experiment's memory + mapping
+combination is one declarative, serializable design point — the same
+currency ``repro scenario run`` and the lab's parameterised jobs use.
+The runners accept keyword parameters (lambda/t/s/y...) which
+``repro.lab.experiment_spec`` exposes as hashed job params for
+sweep-style grids.
 """
 
 from __future__ import annotations
@@ -36,16 +44,10 @@ from repro.analysis.validation import (
     weighted_measured_efficiency,
 )
 from repro.core.distributions import canonical_temporal_distribution
-from repro.core.planner import AccessPlanner
 from repro.core.shortvec import plan_short_vector
 from repro.core.subsequences import build_subsequences
 from repro.core.vector import VectorAccess
 from repro.hardware.oos_engine import Figure6Engine
-from repro.mappings.interleaved import LowOrderInterleaved
-from repro.mappings.linear import MatchedXorMapping
-from repro.mappings.section import SectionXorMapping
-from repro.memory.config import MemoryConfig
-from repro.memory.system import MemorySystem
 from repro.processor.chaining import (
     chained_pair_latency,
     decoupled_pair_latency,
@@ -53,6 +55,35 @@ from repro.processor.chaining import (
 from repro.processor.decoupled import DecoupledVectorMachine
 from repro.processor.isa import VAdd, VLoad
 from repro.processor.program import Program
+from repro.scenarios import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioSpec,
+    build_machine,
+)
+
+
+def _spec_machine(
+    t: int,
+    mapping_kind: str,
+    mapping_params: dict,
+    q: int = 1,
+    qp: int = 1,
+):
+    """``(MemoryConfig, AccessPlanner, MemorySystem)`` from a spec.
+
+    The single machine-construction path of every experiment: the
+    combination is first expressed as a declarative
+    :class:`~repro.scenarios.ScenarioSpec` and then materialised by the
+    scenarios facade, so each experiment's design point is available as
+    serializable data (and produces bit-identical machines to the old
+    hand wiring).
+    """
+    spec = ScenarioSpec(
+        mapping=ComponentSpec.of(mapping_kind, **mapping_params),
+        memory=MemorySpec(t=t, q=q, qp=qp),
+    )
+    return build_machine(spec)
 
 
 @dataclass(frozen=True)
@@ -113,7 +144,8 @@ FIGURE3_ROWS = [
 
 def run_e01() -> ExperimentResult:
     """Regenerate the Figure 3 address layout (m=t=3, s=3)."""
-    mapping = MatchedXorMapping(3, 3)
+    config, _planner, _system = _spec_machine(3, "matched-xor", {"t": 3, "s": 3})
+    mapping = config.mapping
     result = ExperimentResult(
         "E01",
         "Figure 3: XOR mapping layout, m=t=3, s=3",
@@ -139,7 +171,10 @@ PAPER_SUBSEQ_MODULES = [(2, 5, 0, 3, 6, 1, 4, 7), (7, 2, 5, 0, 3, 6, 1, 4)]
 
 def run_e02() -> ExperimentResult:
     """Stride 12, A1=16, L=64 on the Figure 3 mapping (Section 3)."""
-    mapping = MatchedXorMapping(3, 3)
+    config, e02_planner, _system = _spec_machine(
+        3, "matched-xor", {"t": 3, "s": 3}
+    )
+    mapping = config.mapping
     vector = VectorAccess(16, 12, 64)
     ctp = canonical_temporal_distribution(mapping, vector)[:16]
 
@@ -167,8 +202,7 @@ def run_e02() -> ExperimentResult:
         PAPER_SUBSEQ_MODULES,
         subsequence_modules,
     )
-    planner = AccessPlanner(mapping, 3)
-    ordered_cf = planner.plan(vector, mode="ordered").conflict_free
+    ordered_cf = e02_planner.plan(vector, mode="ordered").conflict_free
     result.check("ordered access conflicts (not CF)", False, ordered_cf)
     return result
 
@@ -184,9 +218,7 @@ def run_e03(
     bases: tuple[int, ...] = (0, 1, 16, 777),
 ) -> ExperimentResult:
     """Latency per stride family, matched memory L=128, M=T=8, s=4."""
-    config = MemoryConfig.matched(t=t, s=s)
-    planner = AccessPlanner(config.mapping, t)
-    system = MemorySystem(config)
+    config, planner, system = _spec_machine(t, "matched-xor", {"t": t, "s": s})
     length = 1 << lambda_exponent
     minimum = config.service_ratio + length + 1
 
@@ -248,11 +280,9 @@ def run_e04(
     lambda_exponent: int = 7, t: int = 3, s: int = 4
 ) -> ExperimentResult:
     """Subsequence-only ordering with q=2, q'=1: latency <= 2T + L."""
-    config = MemoryConfig.matched(
-        t=t, s=s, input_capacity=2, output_capacity=1
+    config, planner, system = _spec_machine(
+        t, "matched-xor", {"t": t, "s": s}, q=2, qp=1
     )
-    planner = AccessPlanner(config.mapping, t)
-    system = MemorySystem(config)
     length = 1 << lambda_exponent
     service = config.service_ratio
     bound = 2 * service + length
@@ -298,7 +328,10 @@ PAPER_E06_SUBSEQ = [(0, 12, 8, 4), (4, 0, 12, 8)]
 
 def run_e05() -> ExperimentResult:
     """Figure 7 mapping table and both Section 4.1 worked examples."""
-    mapping = SectionXorMapping(t=2, s=3, y=7)
+    config, _planner, _system = _spec_machine(
+        2, "section-xor", {"t": 2, "s": 3, "y": 7}
+    )
+    mapping = config.mapping
     result = ExperimentResult(
         "E05",
         "Figure 7: section mapping t=2, m=4, s=3, y=7 + Section 4.1 examples",
@@ -365,9 +398,9 @@ def run_e07(
     y: int = 9,
 ) -> ExperimentResult:
     """Unmatched memory L=128, T=8, M=64: conflict-free families 0..9."""
-    config = MemoryConfig.unmatched(t=t, s=s, y=y)
-    planner = AccessPlanner(config.mapping, t)
-    system = MemorySystem(config)
+    config, planner, system = _spec_machine(
+        t, "section-xor", {"t": t, "s": s, "y": y}
+    )
     length = 1 << lambda_exponent
     minimum = config.service_ratio + length + 1
 
@@ -421,8 +454,10 @@ def run_e08(samples: int = 1500) -> ExperimentResult:
     matched_f = matched_design_fraction(7, 3)
     unmatched_f = unmatched_design_fraction(7, 3)
 
-    matched_planner = AccessPlanner(MatchedXorMapping(3, 4), 3)
-    unmatched_planner = AccessPlanner(SectionXorMapping(3, 4, 9), 3)
+    _, matched_planner, _ = _spec_machine(3, "matched-xor", {"t": 3, "s": 4})
+    _, unmatched_planner, _ = _spec_machine(
+        3, "section-xor", {"t": 3, "s": 4, "y": 9}
+    )
     matched_mc = monte_carlo_fraction(matched_planner, 128, samples=samples)
     unmatched_mc = monte_carlo_fraction(unmatched_planner, 128, samples=samples)
 
@@ -465,52 +500,37 @@ def run_e09(length: int = 128) -> ExperimentResult:
         (
             "proposed, matched (s=4)",
             4,
-            AccessPlanner(MatchedXorMapping(3, 4), t),
-            MemorySystem(
-                MemoryConfig.matched(t=3, s=4, input_capacity=8, output_capacity=8)
-            ),
+            ("matched-xor", {"t": 3, "s": 4}),
             "auto",
             matched_proposed_efficiency(7, 3),
         ),
         (
             "proposed, unmatched (s=4, y=9)",
             9,
-            AccessPlanner(SectionXorMapping(3, 4, 9), t),
-            MemorySystem(
-                MemoryConfig.unmatched(
-                    t=3, s=4, y=9, input_capacity=8, output_capacity=8
-                )
-            ),
+            ("section-xor", {"t": 3, "s": 4, "y": 9}),
             "auto",
             unmatched_proposed_efficiency(7, 3),
         ),
         (
             "ordered, matched (s=0)",
             0,
-            AccessPlanner(LowOrderInterleaved(3), t),
-            MemorySystem(
-                MemoryConfig(
-                    LowOrderInterleaved(3), 3, input_capacity=8, output_capacity=8
-                )
-            ),
+            ("interleaved", {"m": 3}),
             "ordered",
             matched_ordered_efficiency(3),
         ),
         (
             "ordered, unmatched (M=64, s=0)",
             3,
-            AccessPlanner(LowOrderInterleaved(6), t),
-            MemorySystem(
-                MemoryConfig(
-                    LowOrderInterleaved(6), 3, input_capacity=8, output_capacity=8
-                )
-            ),
+            ("interleaved", {"m": 6}),
             "ordered",
             unmatched_ordered_efficiency(6, 3),
         ),
     ]
 
-    for name, window, planner, system, mode, model in schemes:
+    for name, window, (mapping_kind, mapping_params), mode, model in schemes:
+        _, planner, system = _spec_machine(
+            t, mapping_kind, mapping_params, q=8, qp=8
+        )
         validations = validate_families(
             planner, system, window, length, max_family=window + t + 1, mode=mode
         )
@@ -553,9 +573,8 @@ def run_e09(length: int = 128) -> ExperimentResult:
 def run_e16(length: int = 512) -> ExperimentResult:
     """Per-family steady-state cost: model 2**min(i,t) vs simulation."""
     t, s = 3, 4
-    planner = AccessPlanner(MatchedXorMapping(t, s), t)
-    system = MemorySystem(
-        MemoryConfig.matched(t=t, s=s, input_capacity=8, output_capacity=8)
+    _, planner, system = _spec_machine(
+        t, "matched-xor", {"t": t, "s": s}, q=8, qp=8
     )
     validations = validate_families(
         planner, system, window_high=s, length=length, max_family=s + t + 2
@@ -589,11 +608,9 @@ def run_e16(length: int = 512) -> ExperimentResult:
 
 def run_e10(t: int = 3, s: int = 4) -> ExperimentResult:
     """Short vectors: composite (OOO prefix + ordered tail) vs all-ordered."""
-    config = MemoryConfig.matched(
-        t=t, s=s, input_capacity=4, output_capacity=4
+    config, planner, system = _spec_machine(
+        t, "matched-xor", {"t": t, "s": s}, q=4, qp=4
     )
-    planner = AccessPlanner(config.mapping, t)
-    system = MemorySystem(config)
 
     result = ExperimentResult(
         "E10",
@@ -709,11 +726,12 @@ def run_e12(lambda_exponent: int = 7, t: int = 3, s: int = 4) -> ExperimentResul
         ],
         [],
     )
-    config_q1 = MemoryConfig.matched(t=t, s=s, input_capacity=1, output_capacity=1)
-    config_q2 = MemoryConfig.matched(t=t, s=s, input_capacity=2, output_capacity=1)
-    planner = AccessPlanner(config_q1.mapping, t)
-    system_q1 = MemorySystem(config_q1)
-    system_q2 = MemorySystem(config_q2)
+    _, planner, system_q1 = _spec_machine(
+        t, "matched-xor", {"t": t, "s": s}, q=1, qp=1
+    )
+    _, _, system_q2 = _spec_machine(
+        t, "matched-xor", {"t": t, "s": s}, q=2, qp=1
+    )
 
     for family in range(s + 1):
         vector = VectorAccess(16, 3 * (1 << family), length)
@@ -802,9 +820,11 @@ def run_e14(lambda_exponent: int = 7, t: int = 3, s: int = 4) -> ExperimentResul
         [],
     )
 
-    def build_machine(chaining: bool) -> DecoupledVectorMachine:
+    config, _planner, _system = _spec_machine(t, "matched-xor", {"t": t, "s": s})
+
+    def build_e14_machine(chaining: bool) -> DecoupledVectorMachine:
         machine = DecoupledVectorMachine(
-            MemoryConfig.matched(t=t, s=s),
+            config,
             register_length=length,
             execute_startup=startup,
             chaining=chaining,
@@ -822,7 +842,7 @@ def run_e14(lambda_exponent: int = 7, t: int = 3, s: int = 4) -> ExperimentResul
     )
 
     for chaining in (False, True):
-        machine = build_machine(chaining)
+        machine = build_e14_machine(chaining)
         run = machine.run(program)
         pair_model = (
             chained_pair_latency(length, 1 << t, startup)
@@ -855,7 +875,7 @@ def run_e14(lambda_exponent: int = 7, t: int = 3, s: int = 4) -> ExperimentResul
 
 def run_e15(lambda_exponent: int = 7, t: int = 3, s: int = 4) -> ExperimentResult:
     """Figure 6 engine == abstract conflict-free plan, with budgets."""
-    planner = AccessPlanner(MatchedXorMapping(t, s), t)
+    _, planner, _ = _spec_machine(t, "matched-xor", {"t": t, "s": s})
     result = ExperimentResult(
         "E15",
         "Figures 4-6: hardware models reproduce the abstract streams",

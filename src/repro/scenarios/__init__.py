@@ -1,0 +1,88 @@
+"""repro.scenarios — declarative, serializable machine + workload specs.
+
+Every design point the paper (and this repository) studies — which
+address mapping, what memory geometry ``(t, q, q', address bits)``,
+which workload, how the memory is driven — is expressible as one
+JSON-serializable :class:`ScenarioSpec` and executed by one call:
+
+    from repro.scenarios import ScenarioSpec, ComponentSpec, MemorySpec, simulate
+
+    spec = ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+    )
+    result = simulate(spec)
+    assert result.conflict_free and result.latency == 8 + 128 + 1
+
+    restored = ScenarioSpec.from_json(spec.to_json())
+    assert restored == spec          # specs are pure data
+
+Modules:
+
+* :mod:`repro.scenarios.spec` — ``ScenarioSpec``/``ComponentSpec``/
+  ``MemorySpec`` and their JSON round-trip;
+* :mod:`repro.scenarios.registry` — kind -> factory tables per layer;
+* :mod:`repro.scenarios.components` — the registered factories
+  (mappings, workloads, drive modes);
+* :mod:`repro.scenarios.facade` — ``build_machine``/``simulate`` and the
+  normalised ``ScenarioResult``;
+* :mod:`repro.scenarios.grid` — ``ScenarioGrid`` parameter sweeps over
+  spec fields.
+
+The lab (:mod:`repro.lab`) accepts specs as jobs (``scenario_job``), so
+distinct design points land in distinct cache entries; the CLI front
+end is ``repro scenario run|list``.
+"""
+
+from repro.scenarios import components as _components  # registration
+from repro.scenarios.facade import (
+    ScenarioResult,
+    build_machine,
+    build_workload,
+    resolve_mapping,
+    simulate,
+)
+from repro.scenarios.grid import ScenarioGrid, load_scenarios
+from repro.scenarios.registry import (
+    CATEGORIES,
+    DRIVE,
+    MAPPING,
+    WORKLOAD,
+    build,
+    example_params,
+    kinds,
+    summary,
+)
+from repro.scenarios.spec import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioSpec,
+    freeze_params,
+    freeze_value,
+)
+
+del _components
+
+__all__ = [
+    "CATEGORIES",
+    "DRIVE",
+    "MAPPING",
+    "WORKLOAD",
+    "ComponentSpec",
+    "MemorySpec",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build",
+    "build_machine",
+    "build_workload",
+    "example_params",
+    "freeze_params",
+    "freeze_value",
+    "kinds",
+    "load_scenarios",
+    "resolve_mapping",
+    "simulate",
+    "summary",
+]

@@ -1,0 +1,415 @@
+"""The registered scenario components: mappings, workloads, drives.
+
+Importing this module populates the :mod:`repro.scenarios.registry`
+tables.  Each factory is a thin, validating adapter from spec
+parameters to one of the library's existing classes — the factories
+own *no* behaviour of their own, so a machine built from a spec is
+bit-identical to one wired by hand.
+
+Workload factories return lightweight workload objects exposing
+``accesses()`` (a list of :class:`~repro.core.vector.VectorAccess` /
+:class:`~repro.core.gather.IndexedAccess`) and a ``label``; the
+:mod:`repro.scenarios.facade` turns those into request streams via the
+selected drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.core.gather import IndexedAccess
+from repro.core.vector import VectorAccess
+from repro.errors import ConfigurationError
+from repro.mappings.dynamic import DynamicSchemeSelector
+from repro.mappings.interleaved import FieldInterleaved, LowOrderInterleaved
+from repro.mappings.linear import MatchedXorMapping
+from repro.mappings.matrix import PseudoRandomMapping
+from repro.mappings.section import SectionXorMapping
+from repro.mappings.skewed import SkewedMapping
+from repro.scenarios.registry import DRIVE, MAPPING, WORKLOAD, register
+from repro.workloads.indexed import (
+    bit_reversal_indices,
+    block_shuffle_indices,
+    csr_row_indices,
+    histogram_indices,
+)
+from repro.workloads.kernels import (
+    fft_butterfly_accesses,
+    matrix_antidiagonal_access,
+    matrix_column_accesses,
+    matrix_diagonal_access,
+    matrix_row_accesses,
+    stencil_accesses,
+    transpose_block_accesses,
+)
+
+Access = Union[VectorAccess, IndexedAccess]
+
+
+# -- mappings ------------------------------------------------------------
+
+
+@register(
+    MAPPING,
+    "interleaved",
+    example={"m": 3},
+    summary="Low-order interleaving: module = low m address bits",
+)
+def _interleaved(m: int, address_bits: int = 32) -> LowOrderInterleaved:
+    return LowOrderInterleaved(m, address_bits)
+
+
+@register(
+    MAPPING,
+    "field-interleaved",
+    example={"m": 3, "s": 4},
+    summary="Module = address bits s..s+m-1 (Section 1 baseline)",
+)
+def _field_interleaved(m: int, s: int, address_bits: int = 32) -> FieldInterleaved:
+    return FieldInterleaved(m, s, address_bits)
+
+
+@register(
+    MAPPING,
+    "matched-xor",
+    example={"t": 3, "s": 4},
+    summary="Eq. (1) XOR mapping for matched memories (M = T)",
+)
+def _matched_xor(t: int, s: int, address_bits: int = 32) -> MatchedXorMapping:
+    return MatchedXorMapping(t, s, address_bits)
+
+
+@register(
+    MAPPING,
+    "section-xor",
+    example={"t": 3, "s": 4, "y": 9},
+    summary="Eq. (2) two-level mapping for unmatched memories (M = T**2)",
+)
+def _section_xor(t: int, s: int, y: int, address_bits: int = 32) -> SectionXorMapping:
+    return SectionXorMapping(t, s, y, address_bits)
+
+
+@register(
+    MAPPING,
+    "skewed",
+    example={"m": 3, "s": 4},
+    summary="Row-rotation skewing (Budnik-Kuck / Lawrie family)",
+)
+def _skewed(
+    m: int, s: int, distance: int = 1, address_bits: int = 32
+) -> SkewedMapping:
+    return SkewedMapping(m, s, distance, address_bits)
+
+
+@register(
+    MAPPING,
+    "pseudo-random",
+    example={"m": 3},
+    summary="Seeded random full-rank XOR matrix (Rau-1991 baseline)",
+)
+def _pseudo_random(
+    m: int, window_bits: int = 16, seed: int = 0, address_bits: int = 32
+) -> PseudoRandomMapping:
+    return PseudoRandomMapping(m, window_bits, seed, address_bits)
+
+
+@register(
+    MAPPING,
+    "dynamic",
+    example={"m": 3},
+    summary="Per-stride dynamic scheme selection (Harper-1991 baseline)",
+)
+def _dynamic(m: int, address_bits: int = 32) -> DynamicSchemeSelector:
+    # Resolved against the workload's stride by the facade: the selector
+    # only becomes a concrete mapping once the dominant stride is known.
+    return DynamicSchemeSelector(m, address_bits)
+
+
+# -- workloads -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named batch of accesses produced by one workload factory."""
+
+    label: str
+    items: tuple[Access, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ConfigurationError(
+                f"workload {self.label!r} generated no accesses"
+            )
+
+    def accesses(self) -> list[Access]:
+        return list(self.items)
+
+    @property
+    def element_count(self) -> int:
+        return sum(item.length for item in self.items)
+
+    def single_vector(self) -> VectorAccess:
+        """The workload as one strided vector, when it is one.
+
+        Drives that only accept a constant-stride stream (``figure6``,
+        ``decoupled``) call this; anything else is a configuration
+        error, reported with the workload's name.
+        """
+        if len(self.items) == 1 and isinstance(self.items[0], VectorAccess):
+            return self.items[0]
+        raise ConfigurationError(
+            f"workload {self.label!r} is not a single strided vector"
+        )
+
+
+def _vector_workload(label: str, items: Sequence[VectorAccess]) -> Workload:
+    return Workload(label, tuple(items))
+
+
+@register(
+    WORKLOAD,
+    "strided",
+    example={"base": 16, "stride": 12, "length": 128},
+    summary="One constant-stride vector access",
+)
+def _strided(stride: int, length: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"strided(base={base}, stride={stride}, length={length})",
+        [VectorAccess(base, stride, length)],
+    )
+
+
+@register(
+    WORKLOAD,
+    "gather",
+    example={"indices": [3, 1, 4, 1, 5, 9, 2, 6], "base": 0},
+    summary="Explicit index vector (gather/scatter)",
+)
+def _gather(indices: Sequence[int], base: int = 0) -> Workload:
+    return Workload(
+        f"gather({len(indices)} indices)",
+        (IndexedAccess(base, list(indices)),),
+    )
+
+
+@register(
+    WORKLOAD,
+    "bit-reversal",
+    example={"bits": 6},
+    summary="FFT bit-reversal permutation gather",
+)
+def _bit_reversal(bits: int, base: int = 0) -> Workload:
+    return Workload(
+        f"bit-reversal({bits} bits)",
+        (IndexedAccess(base, bit_reversal_indices(bits)),),
+    )
+
+
+@register(
+    WORKLOAD,
+    "csr-gather",
+    example={"row_length": 48, "column_count": 4096},
+    summary="Column indices of one CSR sparse-matrix row",
+)
+def _csr_gather(
+    row_length: int, column_count: int, seed: int = 0, base: int = 0
+) -> Workload:
+    return Workload(
+        f"csr-gather({row_length} of {column_count})",
+        (IndexedAccess(base, csr_row_indices(row_length, column_count, seed)),),
+    )
+
+
+@register(
+    WORKLOAD,
+    "histogram",
+    example={"count": 128, "buckets": 64},
+    summary="Zipf-skewed histogram bucket scatter",
+)
+def _histogram(
+    count: int, buckets: int, skew: float = 1.2, seed: int = 0, base: int = 0
+) -> Workload:
+    return Workload(
+        f"histogram({count} into {buckets})",
+        (IndexedAccess(base, histogram_indices(count, buckets, skew, seed)),),
+    )
+
+
+@register(
+    WORKLOAD,
+    "block-shuffle",
+    example={"block": 8, "blocks": 16},
+    summary="Dense blocks of indices in shuffled block order",
+)
+def _block_shuffle(block: int, blocks: int, seed: int = 0, base: int = 0) -> Workload:
+    return Workload(
+        f"block-shuffle({blocks} x {block})",
+        (IndexedAccess(base, block_shuffle_indices(block, blocks, seed)),),
+    )
+
+
+@register(
+    WORKLOAD,
+    "matrix-rows",
+    example={"rows": 8, "cols": 128},
+    summary="Row accesses of a row-major matrix (stride 1)",
+)
+def _matrix_rows(rows: int, cols: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"matrix-rows({rows}x{cols})", matrix_row_accesses(rows, cols, base)
+    )
+
+
+@register(
+    WORKLOAD,
+    "matrix-columns",
+    example={"rows": 128, "cols": 8},
+    summary="Column accesses of a row-major matrix (stride = cols)",
+)
+def _matrix_columns(rows: int, cols: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"matrix-columns({rows}x{cols})",
+        matrix_column_accesses(rows, cols, base),
+    )
+
+
+@register(
+    WORKLOAD,
+    "matrix-diagonal",
+    example={"n": 128},
+    summary="Main diagonal of an n x n matrix (stride n+1)",
+)
+def _matrix_diagonal(n: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"matrix-diagonal({n})", [matrix_diagonal_access(n, base)]
+    )
+
+
+@register(
+    WORKLOAD,
+    "matrix-antidiagonal",
+    example={"n": 128},
+    summary="Anti-diagonal of an n x n matrix (stride n-1)",
+)
+def _matrix_antidiagonal(n: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"matrix-antidiagonal({n})", [matrix_antidiagonal_access(n, base)]
+    )
+
+
+@register(
+    WORKLOAD,
+    "fft-stage",
+    example={"n": 256, "stage": 3},
+    summary="Operand loads of one radix-2 FFT butterfly stage",
+)
+def _fft_stage(n: int, stage: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"fft-stage({n}, stage {stage})",
+        fft_butterfly_accesses(n, stage, base),
+    )
+
+
+@register(
+    WORKLOAD,
+    "transpose-blocks",
+    example={"rows": 32, "cols": 32, "block": 8},
+    summary="Column reads of each tile of a blocked transpose",
+)
+def _transpose_blocks(rows: int, cols: int, block: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"transpose-blocks({rows}x{cols}/{block})",
+        transpose_block_accesses(rows, cols, block, base),
+    )
+
+
+@register(
+    WORKLOAD,
+    "stencil",
+    example={"rows": 6, "cols": 66},
+    summary="5-point stencil loads over a row-major grid",
+)
+def _stencil(rows: int, cols: int, base: int = 0) -> Workload:
+    return _vector_workload(
+        f"stencil({rows}x{cols})", stencil_accesses(rows, cols, base)
+    )
+
+
+# -- drives --------------------------------------------------------------
+
+#: Drive factories return a *mode descriptor*; the facade interprets it.
+#: Keeping drives declarative (no captured machine state) preserves the
+#: spec's process-boundary safety.
+
+
+@dataclass(frozen=True)
+class PlannerDrive:
+    """Plan each access with the AccessPlanner, run the memory simulator."""
+
+    mode: str = "auto"
+    indexed_mode: str = "scheduled"
+
+
+@dataclass(frozen=True)
+class Figure6Drive:
+    """Generate the request stream with the Figure 6 hardware engine."""
+
+
+@dataclass(frozen=True)
+class DecoupledDrive:
+    """Run VLOADs through the full decoupled access/execute machine."""
+
+    chaining: bool = False
+    plan_mode: str = "auto"
+    execute_startup: int = 4
+    register_length: int | None = None
+
+
+@register(
+    DRIVE,
+    "planner",
+    example={"mode": "auto"},
+    summary="AccessPlanner order + cycle-accurate memory simulator",
+)
+def _planner_drive(mode: str = "auto", indexed_mode: str = "scheduled") -> PlannerDrive:
+    if mode not in ("auto", "ordered", "subsequence", "conflict_free"):
+        raise ConfigurationError(
+            f"planner mode must be auto/ordered/subsequence/conflict_free, "
+            f"got {mode!r}"
+        )
+    if indexed_mode not in ("ordered", "scheduled"):
+        raise ConfigurationError(
+            f"indexed_mode must be ordered/scheduled, got {indexed_mode!r}"
+        )
+    return PlannerDrive(mode, indexed_mode)
+
+
+@register(
+    DRIVE,
+    "figure6",
+    example={},
+    summary="Figure 6 register-level address-generation engine",
+)
+def _figure6_drive() -> Figure6Drive:
+    return Figure6Drive()
+
+
+@register(
+    DRIVE,
+    "decoupled",
+    example={"chaining": False},
+    summary="Decoupled access/execute vector machine (Figure 1)",
+)
+def _decoupled_drive(
+    chaining: bool = False,
+    plan_mode: str = "auto",
+    execute_startup: int = 4,
+    register_length: int | None = None,
+) -> DecoupledDrive:
+    if plan_mode not in ("auto", "ordered", "subsequence", "conflict_free"):
+        raise ConfigurationError(
+            f"plan_mode must be auto/ordered/subsequence/conflict_free, "
+            f"got {plan_mode!r}"
+        )
+    return DecoupledDrive(chaining, plan_mode, execute_startup, register_length)

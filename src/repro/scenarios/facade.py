@@ -1,0 +1,337 @@
+"""The scenario facade: spec in, normalised metrics out.
+
+Two entry points:
+
+* :func:`build_machine` — spec to live ``(MemoryConfig, AccessPlanner,
+  MemorySystem)``, the wiring every experiment runner used to do by
+  hand;
+* :func:`simulate` — build the machine, generate the workload, drive
+  the memory, and normalise the metrics every caller previously
+  extracted ad hoc (latency, stalls, conflict-freedom, efficiency,
+  per-module utilisation) into one JSON-safe
+  :class:`ScenarioResult`.
+
+Both raise :class:`~repro.errors.ConfigurationError` for infeasible
+combinations (a dynamic mapping without a strided workload, the
+Figure 6 engine on a gather, a register shorter than the vector), so a
+bad spec fails loudly before any simulation starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.gather import IndexedAccess, plan_indexed
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.errors import ConfigurationError
+from repro.mappings.base import AddressMapping
+from repro.mappings.dynamic import DynamicSchemeSelector
+from repro.memory.config import MemoryConfig
+from repro.memory.system import AccessResult, MemorySystem
+from repro.scenarios import components as _components  # registers kinds
+from repro.scenarios.components import (
+    DecoupledDrive,
+    Figure6Drive,
+    PlannerDrive,
+    Workload,
+)
+from repro.scenarios.registry import DRIVE, MAPPING, WORKLOAD, build
+from repro.scenarios.spec import ScenarioSpec
+
+__unused = _components  # imported for its registration side effect
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Normalised outcome of simulating one scenario.
+
+    All fields are JSON scalars or lists thereof, so a result can be
+    stored as a lab artifact or printed by the CLI without any custom
+    encoding.  ``extras`` carries drive-specific observations (total
+    machine cycles, chained instruction count, latch occupancy...).
+    """
+
+    name: str
+    drive: str
+    schemes: tuple[str, ...]
+    access_count: int
+    element_count: int
+    latency: int
+    minimum_latency: int
+    conflict_free: bool
+    issue_stalls: int
+    wait_count: int
+    service_ratio: int
+    module_count: int
+    module_busy_cycles: tuple[int, ...]
+    extras: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    @property
+    def cycles_per_element(self) -> float:
+        return self.latency / self.element_count
+
+    @property
+    def excess_latency(self) -> int:
+        """Cycles above the conflict-free minimum."""
+        return self.latency - self.minimum_latency
+
+    @property
+    def efficiency(self) -> float:
+        """Delivered elements per cycle, against the minimum-latency ideal."""
+        return self.minimum_latency / self.latency
+
+    @property
+    def module_utilisation(self) -> float:
+        """Mean fraction of the run each module spent busy."""
+        if not self.module_busy_cycles or self.latency == 0:
+            return 0.0
+        return sum(self.module_busy_cycles) / (
+            len(self.module_busy_cycles) * self.latency
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "drive": self.drive,
+            "schemes": list(self.schemes),
+            "access_count": self.access_count,
+            "element_count": self.element_count,
+            "latency": self.latency,
+            "minimum_latency": self.minimum_latency,
+            "excess_latency": self.excess_latency,
+            "conflict_free": self.conflict_free,
+            "issue_stalls": self.issue_stalls,
+            "wait_count": self.wait_count,
+            "cycles_per_element": self.cycles_per_element,
+            "efficiency": self.efficiency,
+            "service_ratio": self.service_ratio,
+            "module_count": self.module_count,
+            "module_utilisation": self.module_utilisation,
+            "module_busy_cycles": list(self.module_busy_cycles),
+            "extras": {key: value for key, value in self.extras},
+        }
+
+    def metric_rows(self) -> list[list]:
+        """``[metric, value]`` rows for tables and lab artifacts."""
+        data = self.to_dict()
+        rows = []
+        for key in (
+            "drive",
+            "access_count",
+            "element_count",
+            "latency",
+            "minimum_latency",
+            "excess_latency",
+            "conflict_free",
+            "issue_stalls",
+            "wait_count",
+            "cycles_per_element",
+            "efficiency",
+            "module_utilisation",
+        ):
+            value = data[key]
+            if isinstance(value, float):
+                value = round(value, 6)
+            rows.append([key, value])
+        rows.append(["schemes", " ".join(self.schemes)])
+        for key, value in self.extras:
+            rows.append([f"extra:{key}", value])
+        return rows
+
+
+def build_workload(spec: ScenarioSpec) -> Workload:
+    """The live workload of a spec (which must declare one)."""
+    if spec.workload is None:
+        raise ConfigurationError(
+            f"scenario {spec.name or spec.describe()!r} declares no workload; "
+            "add a 'workload' section to simulate it"
+        )
+    return build(WORKLOAD, spec.workload)
+
+
+def resolve_mapping(
+    spec: ScenarioSpec, workload: Workload | None = None
+) -> AddressMapping:
+    """The concrete mapping of a spec.
+
+    A ``dynamic`` mapping is a per-stride *selector*, not a mapping; it
+    needs a single strided workload to resolve against (exactly the
+    restriction the paper's Section 1 draws against dynamic schemes).
+    """
+    mapping = build(
+        MAPPING, spec.mapping, address_bits=spec.memory.address_bits
+    )
+    if isinstance(mapping, DynamicSchemeSelector):
+        if workload is None and spec.workload is not None:
+            workload = build_workload(spec)
+        if workload is None:
+            raise ConfigurationError(
+                "a dynamic mapping needs a strided workload to select the "
+                "per-stride scheme; this spec has no workload"
+            )
+        vector = workload.single_vector()
+        return mapping.mapping_for_stride(vector.stride)
+    return mapping
+
+
+def build_machine(
+    spec: ScenarioSpec, workload: Workload | None = None
+) -> tuple[MemoryConfig, AccessPlanner, MemorySystem]:
+    """Materialise the machine layer of a spec.
+
+    Returns the memory configuration, the access planner and the
+    cycle-accurate memory system — identical objects to what the
+    hand-wired constructors produce, so results are bit-for-bit equal.
+    """
+    mapping = resolve_mapping(spec, workload)
+    config = MemoryConfig(
+        mapping,
+        spec.memory.t,
+        input_capacity=spec.memory.q,
+        output_capacity=spec.memory.qp,
+    )
+    planner = AccessPlanner(config.mapping, config.t)
+    return config, planner, MemorySystem(config)
+
+
+def simulate(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario end to end and normalise its metrics."""
+    workload = build_workload(spec)
+    config, planner, system = build_machine(spec, workload)
+    drive = build(DRIVE, spec.drive)
+    if isinstance(drive, PlannerDrive):
+        return _simulate_planner(spec, workload, config, planner, system, drive)
+    if isinstance(drive, Figure6Drive):
+        return _simulate_figure6(spec, workload, config, planner, system)
+    if isinstance(drive, DecoupledDrive):
+        return _simulate_decoupled(spec, workload, config, drive)
+    raise ConfigurationError(  # pragma: no cover - registry emits the three
+        f"drive kind {spec.drive.kind!r} returned an unknown descriptor"
+    )
+
+
+def _aggregate(
+    spec: ScenarioSpec,
+    config: MemoryConfig,
+    runs: list[tuple[str, AccessResult]],
+    extras: tuple[tuple[str, object], ...] = (),
+) -> ScenarioResult:
+    """Fold per-access results into one scenario-level record.
+
+    Multi-access workloads (kernels) are simulated back to back, so
+    totals add and conflict-freedom is the conjunction.
+    """
+    schemes = []
+    for scheme, _run in runs:
+        if scheme not in schemes:
+            schemes.append(scheme)
+    elements = sum(run.element_count for _scheme, run in runs)
+    busy = [0] * config.module_count
+    for _scheme, run in runs:
+        for module, cycles in enumerate(run.module_busy_cycles):
+            busy[module] += cycles
+    minimum = sum(
+        config.service_ratio + run.element_count + 1 for _scheme, run in runs
+    )
+    return ScenarioResult(
+        name=spec.name,
+        drive=spec.drive.kind,
+        schemes=tuple(schemes),
+        access_count=len(runs),
+        element_count=elements,
+        latency=sum(run.latency for _scheme, run in runs),
+        minimum_latency=minimum,
+        conflict_free=all(run.conflict_free for _scheme, run in runs),
+        issue_stalls=sum(run.issue_stall_cycles for _scheme, run in runs),
+        wait_count=sum(run.wait_count for _scheme, run in runs),
+        service_ratio=config.service_ratio,
+        module_count=config.module_count,
+        module_busy_cycles=tuple(busy),
+        extras=extras,
+    )
+
+
+def _simulate_planner(
+    spec: ScenarioSpec,
+    workload: Workload,
+    config: MemoryConfig,
+    planner: AccessPlanner,
+    system: MemorySystem,
+    drive: PlannerDrive,
+) -> ScenarioResult:
+    runs: list[tuple[str, AccessResult]] = []
+    for access in workload.accesses():
+        if isinstance(access, IndexedAccess):
+            plan = plan_indexed(
+                config.mapping, config.t, access, mode=drive.indexed_mode
+            )
+        else:
+            plan = planner.plan(access, mode=drive.mode)
+        runs.append((plan.scheme, system.run_plan(plan)))
+    return _aggregate(spec, config, runs)
+
+
+def _simulate_figure6(
+    spec: ScenarioSpec,
+    workload: Workload,
+    config: MemoryConfig,
+    planner: AccessPlanner,
+    system: MemorySystem,
+) -> ScenarioResult:
+    from repro.hardware.oos_engine import Figure6Engine
+
+    vector = workload.single_vector()
+    engine = Figure6Engine(planner, vector)
+    run = system.run_stream(engine.request_stream())
+    report = engine.report()
+    extras = (
+        ("latch_peak_occupancy", report.latch_peak_occupancy),
+        ("latch_capacity", report.latch_capacity),
+        ("generator_adds", report.generator1_adds + report.generator2_adds),
+    )
+    return _aggregate(spec, config, [("conflict_free", run)], extras)
+
+
+def _simulate_decoupled(
+    spec: ScenarioSpec,
+    workload: Workload,
+    config: MemoryConfig,
+    drive: DecoupledDrive,
+) -> ScenarioResult:
+    from repro.processor.decoupled import DecoupledVectorMachine
+    from repro.processor.isa import VAdd, VLoad
+    from repro.processor.program import Program
+
+    vector = workload.single_vector()
+    register_length = drive.register_length or vector.length
+    if register_length < vector.length:
+        raise ConfigurationError(
+            f"register_length {register_length} is shorter than the "
+            f"workload vector ({vector.length} elements)"
+        )
+    machine = DecoupledVectorMachine(
+        config,
+        register_length=register_length,
+        execute_startup=drive.execute_startup,
+        chaining=drive.chaining,
+        plan_mode=drive.plan_mode,  # type: ignore[arg-type]
+    )
+    machine.store.write_vector(
+        vector.base, vector.stride, [float(i) for i in range(vector.length)]
+    )
+    instructions = [VLoad(1, vector.base, vector.stride, vector.length)]
+    if drive.chaining:
+        # A dependent add makes the chained overlap observable.
+        instructions.append(VAdd(2, 1, 1, vector.length))
+    result = machine.run(Program(instructions))
+
+    load = result.timings[0]
+    memory_run = machine.memory_access_results[0]
+    extras = (
+        ("total_cycles", result.total_cycles),
+        ("chained_instructions", result.chained_count()),
+        ("conflict_free_loads", result.conflict_free_loads()),
+        ("load_scheme", load.mode),
+    )
+    return _aggregate(spec, config, [(load.mode, memory_run)], extras)

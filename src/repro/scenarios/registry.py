@@ -1,0 +1,143 @@
+"""Kind registries: the string -> factory tables behind scenario specs.
+
+Three categories, one registry each:
+
+* ``"mapping"`` — address mappings (module-number component ``F``);
+* ``"workload"`` — access streams (strided, indexed, kernel);
+* ``"drive"`` — how requests reach the memory (planner, Figure 6
+  engine, the decoupled machine).
+
+A factory takes the spec's parameters as keyword arguments (plus
+category-specific context such as ``address_bits``) and returns the
+live component.  Unknown kinds and unknown/invalid parameters raise
+:class:`~repro.errors.ConfigurationError` with the known alternatives
+spelled out, so a typo in a JSON spec fails with a readable message
+instead of a stack trace from deep inside a constructor.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ComponentSpec
+
+MAPPING = "mapping"
+WORKLOAD = "workload"
+DRIVE = "drive"
+
+CATEGORIES = (MAPPING, WORKLOAD, DRIVE)
+
+
+class _Entry:
+    """One registered kind: its factory plus a runnable example."""
+
+    def __init__(self, factory: Callable, example: dict, summary: str):
+        self.factory = factory
+        self.example = example
+        self.summary = summary
+
+
+_REGISTRY: dict[str, dict[str, _Entry]] = {
+    category: {} for category in CATEGORIES
+}
+
+
+def register(category: str, kind: str, *, example: dict, summary: str = ""):
+    """Decorator registering ``factory`` as ``kind`` in ``category``.
+
+    ``example`` is a complete, feasible parameter set for the kind; the
+    round-trip tests and ``repro scenario list`` both consume it, so
+    every registered component ships with a working starting point.
+    """
+    if category not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown registry category {category!r} "
+            f"(known: {', '.join(CATEGORIES)})"
+        )
+
+    def wrap(factory: Callable) -> Callable:
+        if kind in _REGISTRY[category]:
+            raise ConfigurationError(
+                f"duplicate registration of {category} kind {kind!r}"
+            )
+        _REGISTRY[category][kind] = _Entry(
+            factory, dict(example), summary or (factory.__doc__ or "").strip()
+        )
+        return factory
+
+    return wrap
+
+
+def kinds(category: str) -> list[str]:
+    """Registered kinds of one category, sorted."""
+    _check_category(category)
+    return sorted(_REGISTRY[category])
+
+
+def example_params(category: str, kind: str) -> dict:
+    """A copy of the registered example parameter set."""
+    return dict(_entry(category, kind).example)
+
+
+def summary(category: str, kind: str) -> str:
+    return _entry(category, kind).summary.splitlines()[0]
+
+
+def build(category: str, spec: ComponentSpec, **context):
+    """Instantiate one component from its spec.
+
+    ``context`` carries cross-layer inputs a factory may need (the
+    memory's ``address_bits`` for mappings, the planner for drives).
+    Factories declare the context they use; the rest is filtered out
+    here so adding context never breaks existing factories.
+    """
+    entry = _entry(category, spec.kind)
+    params = spec.param_dict()
+    overlap = set(params) & set(context)
+    if overlap:
+        raise ConfigurationError(
+            f"{category} kind {spec.kind!r} params shadow reserved context "
+            f"names: {', '.join(sorted(overlap))}"
+        )
+    accepted = inspect.signature(entry.factory).parameters
+    takes_kwargs = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in accepted.values()
+    )
+    passed_context = {
+        key: value
+        for key, value in context.items()
+        if takes_kwargs or key in accepted
+    }
+    try:
+        return entry.factory(**params, **passed_context)
+    except TypeError as error:
+        # A factory signature mismatch is a spec problem (unknown or
+        # missing parameter), not a bug — report it as configuration.
+        detail = re.sub(r"^\w+\(\)\s*", "", str(error))
+        raise ConfigurationError(
+            f"bad parameters for {category} kind {spec.kind!r}: {detail} "
+            f"(example params: {entry.example!r})"
+        ) from None
+
+
+def _check_category(category: str) -> None:
+    if category not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown registry category {category!r} "
+            f"(known: {', '.join(CATEGORIES)})"
+        )
+
+
+def _entry(category: str, kind: str) -> _Entry:
+    _check_category(category)
+    try:
+        return _REGISTRY[category][kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown {category} kind {kind!r} "
+            f"(registered: {', '.join(sorted(_REGISTRY[category])) or 'none'})"
+        ) from None

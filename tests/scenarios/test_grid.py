@@ -1,0 +1,131 @@
+"""Grid tests: deterministic expansion, JSON round-trip, sweep bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioGrid,
+    ScenarioSpec,
+    load_scenarios,
+    simulate,
+)
+
+
+def base_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+        name="grid-base",
+    )
+
+
+class TestExpansion:
+    def test_product_order_is_deterministic(self):
+        grid = ScenarioGrid.of(
+            base_spec(),
+            memory__q=(1, 2),
+            workload__params__stride=(3, 12),
+        )
+        assert grid.size == 4
+        points = [
+            (spec.memory.q, spec.workload.param_dict()["stride"])
+            for spec in grid.expand()
+        ]
+        assert points == [(1, 3), (1, 12), (2, 3), (2, 12)]
+
+    def test_point_names_record_their_coordinates(self):
+        grid = ScenarioGrid.of(base_spec(), memory__t=(2, 3))
+        names = [spec.name for spec in grid.expand()]
+        assert names == ["grid-base[t=2]", "grid-base[t=3]"]
+
+    def test_axisless_grid_is_the_base(self):
+        grid = ScenarioGrid(base_spec(), ())
+        assert grid.expand() == [base_spec()]
+
+    def test_every_point_simulates(self):
+        grid = ScenarioGrid.of(base_spec(), workload__params__stride=(1, 12, 48))
+        for spec in grid.expand():
+            assert simulate(spec).conflict_free
+
+
+class TestGridValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            ScenarioGrid(base_spec(), (("memory.q", ()),))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ScenarioGrid(
+                base_spec(), (("memory.q", (1,)), ("memory.q", (2,)))
+            )
+
+    def test_bad_axis_path_rejected_up_front(self):
+        with pytest.raises(ConfigurationError, match="no field at path"):
+            ScenarioGrid(base_spec(), (("memory.banks", (1, 2)),))
+
+
+class TestGridRoundTrip:
+    def test_dict_round_trip(self):
+        grid = ScenarioGrid.of(
+            base_spec(), memory__q=(1, 2), mapping__params__s=(4, 5)
+        )
+        assert ScenarioGrid.from_dict(grid.to_dict()) == grid
+        assert ScenarioGrid.from_json(grid.to_json()) == grid
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario grid"):
+            ScenarioGrid.from_dict({"base": base_spec().to_dict(), "axis": {}})
+
+    def test_non_list_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="must list"):
+            ScenarioGrid.from_dict(
+                {"base": base_spec().to_dict(), "axes": {"memory.q": 2}}
+            )
+
+
+class TestLoadScenarios:
+    def test_single_spec_document(self):
+        specs = load_scenarios(base_spec().to_json())
+        assert specs == [base_spec()]
+
+    def test_grid_document_expands(self):
+        grid = ScenarioGrid.of(base_spec(), memory__q=(1, 2, 4))
+        assert load_scenarios(grid.to_json()) == grid.expand()
+
+    def test_list_document_mixes_specs_and_grids(self):
+        import json
+
+        grid = ScenarioGrid.of(base_spec(), memory__q=(1, 2))
+        text = json.dumps([base_spec().to_dict(), grid.to_dict()])
+        specs = load_scenarios(text)
+        assert len(specs) == 3
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid scenario JSON"):
+            load_scenarios("[{]")
+
+
+class TestSweepBridge:
+    def test_standard_sweeps_materialise_as_scenarios(self):
+        from repro.analysis.sweeps import STANDARD_SWEEPS
+
+        for sweep in STANDARD_SWEEPS:
+            specs = sweep.scenario_specs()
+            assert len(specs) == len(sweep.design_rows())
+            for spec, row in zip(specs, sweep.design_rows()):
+                assert spec.memory.t == row.t
+                assert spec.workload.param_dict()["length"] == row.vector_length
+
+    def test_bridged_design_points_are_conflict_free(self):
+        from repro.analysis.sweeps import SweepSpec
+
+        sweep = SweepSpec(axis="lambda", fixed=3, start=6, stop=9)
+        for spec in sweep.scenario_specs():
+            result = simulate(spec)
+            assert result.conflict_free
+            assert result.latency == result.minimum_latency

@@ -1,0 +1,155 @@
+"""Round-trip and validation tests for scenario specs.
+
+The headline guarantee: every registered component kind — with its
+registered example parameters — survives
+``ScenarioSpec.from_dict(spec.to_dict()) == spec`` and the JSON
+equivalent, and every malformed spec fails with a
+:class:`~repro.errors.ConfigurationError` naming the problem.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    CATEGORIES,
+    DRIVE,
+    MAPPING,
+    WORKLOAD,
+    ComponentSpec,
+    MemorySpec,
+    ScenarioSpec,
+    example_params,
+    kinds,
+)
+
+
+def example_component(category: str, kind: str) -> ComponentSpec:
+    return ComponentSpec.of(kind, **example_params(category, kind))
+
+
+def base_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestComponentRoundTrips:
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_every_registered_kind_round_trips(self, category):
+        for kind in kinds(category):
+            component = example_component(category, kind)
+            assert ComponentSpec.from_dict(component.to_dict()) == component
+
+    def test_every_mapping_kind_round_trips_inside_a_scenario(self):
+        for kind in kinds(MAPPING):
+            spec = base_spec(mapping=example_component(MAPPING, kind))
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_every_workload_kind_round_trips_inside_a_scenario(self):
+        for kind in kinds(WORKLOAD):
+            spec = base_spec(workload=example_component(WORKLOAD, kind))
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_every_drive_kind_round_trips_inside_a_scenario(self):
+        for kind in kinds(DRIVE):
+            spec = base_spec(drive=example_component(DRIVE, kind))
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_param_order_does_not_matter(self):
+        assert ComponentSpec.of("matched-xor", t=3, s=4) == ComponentSpec.of(
+            "matched-xor", s=4, t=3
+        )
+
+    def test_list_params_round_trip_as_tuples(self):
+        component = ComponentSpec.of("gather", indices=[3, 1, 4], base=0)
+        restored = ComponentSpec.from_dict(
+            json.loads(json.dumps(component.to_dict()))
+        )
+        assert restored == component
+        assert restored.param_dict()["indices"] == (3, 1, 4)
+
+    def test_canonical_json_is_deterministic(self):
+        spec = base_spec(name="determinism")
+        assert spec.to_json() == ScenarioSpec.from_json(spec.to_json()).to_json()
+
+
+class TestSpecValidation:
+    def test_unknown_scenario_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario spec"):
+            ScenarioSpec.from_dict(
+                {
+                    "mapping": {"kind": "matched-xor", "params": {"t": 3, "s": 4}},
+                    "memory": {"t": 3},
+                    "wrkload": {"kind": "strided", "params": {}},
+                }
+            )
+
+    def test_missing_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="'mapping'"):
+            ScenarioSpec.from_dict({"memory": {"t": 3}})
+
+    def test_unknown_memory_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown memory spec"):
+            MemorySpec.from_dict({"t": 3, "modules": 8})
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="scalars"):
+            ComponentSpec.of("strided", stride={"nested": 1})
+
+    def test_nested_list_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="scalars"):
+            ComponentSpec.of("gather", indices=[[1, 2], [3]])
+
+    def test_bad_memory_geometry_rejected(self):
+        with pytest.raises(ConfigurationError, match="buffer depths"):
+            MemorySpec(t=3, q=0)
+        with pytest.raises(ConfigurationError, match="t must be >= 0"):
+            MemorySpec(t=-1)
+
+    def test_invalid_json_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="invalid scenario JSON"):
+            ScenarioSpec.from_json("{not json")
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            ComponentSpec("", ())
+
+
+class TestReplace:
+    def test_replace_memory_field(self):
+        spec = base_spec()
+        assert spec.replace("memory.t", 4).memory.t == 4
+        assert spec.memory.t == 3  # original untouched
+
+    def test_replace_mapping_param(self):
+        spec = base_spec()
+        updated = spec.replace("mapping.params.s", 5)
+        assert updated.mapping.param_dict()["s"] == 5
+
+    def test_replace_can_add_new_param(self):
+        spec = base_spec()
+        updated = spec.replace("workload.params.base", 99)
+        assert updated.workload.param_dict()["base"] == 99
+
+    def test_replace_unknown_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="no field at path"):
+            base_spec().replace("memory.modules", 8)
+        with pytest.raises(ConfigurationError, match="no field at path"):
+            base_spec().replace("nowhere.at.all", 1)
+
+    def test_distinct_params_are_distinct_specs(self):
+        spec = base_spec()
+        assert spec.replace("memory.q", 2) != spec
+        assert spec.replace("workload.params.stride", 13) != spec
+        assert spec.to_json() != spec.replace("memory.q", 2).to_json()

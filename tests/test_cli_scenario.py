@@ -1,0 +1,135 @@
+"""CLI tests for `repro scenario run|list` and `lab run --param`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import ComponentSpec, MemorySpec, ScenarioGrid, ScenarioSpec
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+        name="cli-demo",
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    return spec, path
+
+
+class TestScenarioRun:
+    def test_run_prints_normalised_metrics(self, spec_file, capsys):
+        _spec, path = spec_file
+        assert main(["scenario", "run", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "cli-demo" in output
+        assert "latency" in output and "137" in output
+        assert "conflict_free" in output
+
+    def test_json_output_round_trips(self, spec_file, capsys):
+        spec, path = spec_file
+        assert main(["scenario", "run", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["spec"] == spec.to_dict()
+        assert payload[0]["result"]["latency"] == 137
+
+    def test_grid_file_expands_to_every_point(self, tmp_path, capsys):
+        spec, _path = (
+            ScenarioSpec(
+                mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+                memory=MemorySpec(t=3),
+                workload=ComponentSpec.of("strided", stride=12, length=128),
+                name="grid",
+            ),
+            None,
+        )
+        grid = ScenarioGrid.of(spec, memory__q=(1, 2, 4))
+        path = tmp_path / "grid.json"
+        path.write_text(grid.to_json())
+        assert main(["scenario", "run", str(path), "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 3
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["scenario", "run", "/nonexistent/spec.json"]) == 2
+        assert "no such scenario file" in capsys.readouterr().err
+
+    def test_bad_spec_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"mapping": {"kind": "warp"}, "memory": {"t": 3}}')
+        assert main(["scenario", "run", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_lab_mode_caches(self, spec_file, tmp_path, capsys):
+        _spec, path = spec_file
+        root = str(tmp_path / "lab")
+        assert main(["scenario", "run", str(path), "--lab", "--root", root]) == 0
+        assert "1 scenarios" in capsys.readouterr().out
+        assert main(["scenario", "run", str(path), "--lab", "--root", root]) == 0
+        assert "1 cache hits" in capsys.readouterr().out
+
+    def test_committed_example_files_run(self, capsys):
+        from pathlib import Path
+
+        examples = sorted(
+            str(path) for path in Path("examples").glob("scenario_*.json")
+        )
+        assert len(examples) >= 3
+        assert main(["scenario", "run", *examples]) == 0
+
+
+class TestScenarioList:
+    def test_lists_every_category_and_kind(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for heading in ("mapping kinds:", "workload kinds:", "drive kinds:"):
+            assert heading in output
+        for kind in ("matched-xor", "section-xor", "bit-reversal", "decoupled"):
+            assert kind in output
+        assert "example params" in output
+
+
+class TestLabRunParam:
+    def test_param_override_runs_the_design_point(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        code = main(
+            [
+                "lab", "run",
+                "--ids", "E03",
+                "--param", "E03:lambda_exponent=6",
+                "--root", root,
+                "--jobs", "1",
+            ]
+        )
+        assert code == 0
+        assert "E03[lambda_exponent=6]" in capsys.readouterr().out
+
+    def test_malformed_param_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["lab", "run", "--ids", "E01", "--param", "garbage",
+             "--root", str(tmp_path / "lab")]
+        )
+        assert code == 2
+        assert "expected JOB:KEY=VALUE" in capsys.readouterr().err
+
+    def test_unknown_param_name_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["lab", "run", "--ids", "E01", "--param", "E01:warp=9",
+             "--root", str(tmp_path / "lab")]
+        )
+        assert code == 2
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_param_for_unselected_job_is_clean_error(self, tmp_path, capsys):
+        # A typo'd job id must not silently run the default design point.
+        code = main(
+            ["lab", "run", "--ids", "E01", "--param", "E3:lambda_exponent=8",
+             "--root", str(tmp_path / "lab")]
+        )
+        assert code == 2
+        assert "not in the selected jobs" in capsys.readouterr().err
