@@ -44,13 +44,15 @@ Module map
 * :mod:`repro.hardware` — register-level models of the Figures 4-6
   address-generation hardware;
 * :mod:`repro.processor` — the decoupled access/execute vector machine
-  with LOAD->EXECUTE chaining, its ISA and assembler;
+  with LOAD->EXECUTE chaining, its ISA, assembler, strip-mined kernel
+  builders and the ``ProgramEngine`` whole-program execution API;
 * :mod:`repro.workloads` — stride populations, kernel access patterns
   and gather/scatter index generators;
 * :mod:`repro.analysis` — the Section 5 analytic models (fractions,
   efficiency, trade-offs) and design-space sweeps;
 * :mod:`repro.scenarios` — declarative, JSON-serializable scenario
-  specs + the ``simulate()`` facade over all of the above;
+  specs (machine + workload *or* whole program) + the ``simulate()``
+  facade over all of the above and design-point diffing;
 * :mod:`repro.report` — experiment runners (E01..E16) and table/figure
   rendering;
 * :mod:`repro.lab` — parallel experiment orchestration with
@@ -112,7 +114,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessPlan",

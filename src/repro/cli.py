@@ -8,7 +8,10 @@ Usage (also via ``python -m repro``)::
     repro experiments --ids E01,E03 --output EXPERIMENTS.md
     repro survey --t 3 --s 4 --max-stride 32
     repro scenario run examples/scenario_matched_stride12.json
+    repro scenario run examples/scenario_daxpy_program.json
+    repro scenario diff baseline.json candidate.json
     repro scenario list
+    repro lab sweep examples/scenario_program_grid.json
     repro lab run --all --jobs 8
     repro lab run --ids E03 --param E03:lambda_exponent=8
     repro lab diff 20260729T120000Z-aaaa 20260729T130000Z-bbbb
@@ -198,6 +201,31 @@ def build_parser() -> argparse.ArgumentParser:
     lab_diff.add_argument("run_b", help="candidate run id")
     lab_diff.add_argument("--root", default=None, help=root_help)
 
+    lab_sweep = lab_commands.add_parser(
+        "sweep",
+        help="run a scenario grid through the lab and render one "
+        "comparison table (axes as columns)",
+    )
+    lab_sweep.add_argument("file", help="JSON grid file ({'base':..., 'axes':...})")
+    lab_sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: one per CPU)",
+    )
+    lab_sweep.add_argument(
+        "--force", action="store_true", help="ignore cached artifacts"
+    )
+    lab_sweep.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the table as Markdown instead of ASCII",
+    )
+    lab_sweep.add_argument(
+        "--output", default=None, help="write the table to this file"
+    )
+    lab_sweep.add_argument("--root", default=None, help=root_help)
+
     scenario = commands.add_parser(
         "scenario",
         help="declarative machine + workload specs (JSON in, metrics out)",
@@ -235,8 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument("--root", default=None, help=root_help)
 
     scenario_commands.add_parser(
-        "list", help="show every registered mapping/workload/drive kind"
+        "list",
+        help="show every registered mapping/workload/drive/program kind",
     )
+
+    scenario_diff = scenario_commands.add_parser(
+        "diff",
+        help="simulate two design points and compare them metric by "
+        "metric (exit 1 on regression)",
+    )
+    scenario_diff.add_argument("file_a", help="baseline spec (one JSON spec)")
+    scenario_diff.add_argument("file_b", help="candidate spec (one JSON spec)")
 
     run = commands.add_parser(
         "run", help="execute a vector-assembly file on the decoupled machine"
@@ -501,8 +538,74 @@ def command_lab(args: argparse.Namespace) -> int:
         print(render_diff(diff))
         return 1 if diff.has_regressions else 0
 
+    if args.lab_command == "sweep":
+        return _lab_sweep(args, store)
+
     count = store.rebuild_index()
     print(f"indexed {count} artifacts into {store.index_path}")
+    return 0
+
+
+def _lab_sweep(args: argparse.Namespace, store) -> int:
+    """Run one scenario grid through the lab, render one comparison table."""
+    from pathlib import Path
+
+    from repro.lab import (
+        decode_rows,
+        run_jobs,
+        scenario_job,
+        write_run_artifacts,
+    )
+    from repro.report.sweeps import sweep_table
+    from repro.report.tables import render_markdown
+    from repro.scenarios import load_grid
+
+    path = Path(args.file)
+    if not path.is_file():
+        print(f"no such grid file: {args.file}", file=sys.stderr)
+        return 2
+    grid = load_grid(path.read_text())
+    specs = grid.expand()
+    jobs = [scenario_job(spec) for spec in specs]
+    report = run_jobs(
+        jobs,
+        store=store,
+        workers=args.jobs,
+        force=args.force,
+        progress=print,
+    )
+    write_run_artifacts(store, report)
+    outcomes = {outcome.spec.job_id: outcome for outcome in report.outcomes}
+    records = []
+    for job in jobs:
+        outcome = outcomes.get(job.job_id)
+        if outcome is None:
+            records.append({})
+            continue
+        records.append(
+            {
+                str(metric): value
+                for metric, value in decode_rows(
+                    outcome.record.get("rows", [])
+                )
+            }
+        )
+    headers, rows = sweep_table(grid, records)
+    renderer = render_markdown if args.markdown else render_table
+    table = renderer(headers, rows, title=grid.describe())
+    if args.output:
+        Path(args.output).write_text(table + "\n")
+        print(f"wrote {args.output} ({len(rows)} design points)")
+    else:
+        print(table)
+    print(
+        f"run {report.run_id}: {len(report.outcomes)} design points, "
+        f"{report.cache_hits} cache hits, {len(report.failures)} failed"
+    )
+    if report.failures:
+        failed = ", ".join(o.spec.job_id for o in report.failures)
+        print(f"failed design points: {failed}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -554,6 +657,35 @@ def command_scenario(args: argparse.Namespace) -> int:
                 print(f"  {'':20s} example params: {example}")
             print()
         return 0
+
+    if args.scenario_command == "diff":
+        from repro.scenarios import diff_results, render_scenario_diff
+
+        sides = []
+        for filename in (args.file_a, args.file_b):
+            path = Path(filename)
+            if not path.is_file():
+                print(f"no such scenario file: {filename}", file=sys.stderr)
+                return 2
+            loaded = load_scenarios(path.read_text())
+            if len(loaded) != 1:
+                print(
+                    f"{filename} holds {len(loaded)} design points; "
+                    "`scenario diff` compares exactly one per file",
+                    file=sys.stderr,
+                )
+                return 2
+            sides.append(loaded[0])
+        spec_a, spec_b = sides
+        result_a, result_b = simulate(spec_a), simulate(spec_b)
+        diff = diff_results(
+            result_a.to_dict(),
+            result_b.to_dict(),
+            label_a=spec_a.name or args.file_a,
+            label_b=spec_b.name or args.file_b,
+        )
+        print(render_scenario_diff(diff))
+        return 1 if diff.has_regressions else 0
 
     specs = []
     for filename in args.files:
@@ -610,67 +742,25 @@ def command_scenario(args: argparse.Namespace) -> int:
     for spec, result in results:
         print(f"== {spec.describe()}")
         print(render_table(["metric", "value"], result.metric_rows()))
+        if result.timeline:
+            from repro.scenarios import TIMELINE_FIELDS
+
+            print()
+            print(
+                render_table(
+                    list(TIMELINE_FIELDS),
+                    [list(row) for row in result.timeline],
+                )
+            )
         print()
     return 0
-
-
-def _split_directives(text: str) -> tuple[list[str], list[str]]:
-    """Separate ``.init``/``.fill`` directive lines from assembly lines.
-
-    Directives (anywhere in the file, one per line):
-
-    * ``.init base=<int>, stride=<int>, values=<v;v;...>`` — store the
-      listed values as a constant-stride vector;
-    * ``.fill base=<int>, stride=<int>, count=<int>, value=<float>`` —
-      store ``count`` copies of one value.
-    """
-    directives: list[str] = []
-    program_lines: list[str] = []
-    for line in text.splitlines():
-        stripped = line.split("#", 1)[0].strip()
-        if stripped.startswith("."):
-            directives.append(stripped)
-        else:
-            program_lines.append(line)
-    return directives, program_lines
-
-
-def _apply_directive(machine, directive: str) -> None:
-    from repro.errors import ProgramError
-
-    name, _, rest = directive.partition(" ")
-    fields: dict[str, str] = {}
-    for part in rest.split(","):
-        part = part.strip()
-        if not part:
-            continue
-        if "=" not in part:
-            raise ProgramError(f"bad directive field {part!r} in {directive!r}")
-        key, _, value = part.partition("=")
-        fields[key.strip()] = value.strip()
-    try:
-        if name == ".init":
-            values = [float(v) for v in fields["values"].split(";") if v]
-            machine.store.write_vector(
-                int(fields["base"]), int(fields["stride"]), values
-            )
-        elif name == ".fill":
-            machine.store.write_vector(
-                int(fields["base"]),
-                int(fields["stride"]),
-                [float(fields["value"])] * int(fields["count"]),
-            )
-        else:
-            raise ProgramError(f"unknown directive {name!r}")
-    except (KeyError, ValueError) as error:
-        raise ProgramError(f"bad directive {directive!r}: {error}") from None
 
 
 def command_run(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.processor.decoupled import DecoupledVectorMachine
-    from repro.processor.program import assemble
+    from repro.processor.program import parse_source
 
     config = _build_config(args.t, args.s, args.y, q=2)
     machine = DecoupledVectorMachine(
@@ -678,11 +768,11 @@ def command_run(args: argparse.Namespace) -> int:
         register_length=args.register_length,
         chaining=args.chaining,
     )
-    text = Path(args.file).read_text()
-    directives, program_lines = _split_directives(text)
-    for directive in directives:
-        _apply_directive(machine, directive)
-    program = assemble("\n".join(program_lines))
+    # Same parser the 'instructions'/'asm' scenario program kinds use:
+    # .init/.fill directives preload memory, the rest is the program.
+    program, inits = parse_source(Path(args.file).read_text())
+    for base, stride, values in inits:
+        machine.store.write_vector(base, stride, values)
     result = machine.run(program)
 
     print(f"memory:  {config.describe()}")

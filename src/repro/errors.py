@@ -54,4 +54,20 @@ class RegisterFileError(ReproError):
 
 
 class ProgramError(ReproError):
-    """A vector program is malformed (undefined register, bad operands)."""
+    """A vector program is malformed (undefined register, bad operands).
+
+    When the program came from assembler text, ``line_number`` and
+    ``source_line`` locate the offending statement; both are ``None``
+    for programs built directly from the instruction dataclasses.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line_number: int | None = None,
+        source_line: str | None = None,
+    ):
+        super().__init__(message)
+        self.line_number = line_number
+        self.source_line = source_line

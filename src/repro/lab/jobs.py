@@ -12,7 +12,10 @@ Four kinds of jobs, all declaratively specified and content-hashable:
   source of truth;
 * ``scenario`` — one :class:`repro.scenarios.ScenarioSpec`, carried
   verbatim (as canonical JSON) in the job params, so every distinct
-  machine + workload design point is a distinct cache entry.
+  machine + workload design point is a distinct cache entry.  Specs
+  with a ``program`` section travel the same way — the program kind and
+  parameters are part of the canonical JSON, hence of the cache key —
+  and their numerical-correctness verdict becomes the job's check.
 
 A :class:`JobSpec` carries no callables, only strings and ints, so it
 pickles trivially and hashes canonically; worker processes rebuild the
@@ -362,6 +365,20 @@ def _scenario_payload(spec: JobSpec) -> dict:
         result.metric_rows(),
     )
     payload["notes"] = [scenario.describe()]
+    # Program scenarios carry an end-to-end correctness verdict: surface
+    # it as a check so a miscomputing design point fails the job (and
+    # shows up as a regression in `repro lab diff`).
+    correct = dict(result.extras).get("numerically_correct")
+    if correct is not None:
+        payload["checks"] = [
+            {
+                "claim": "program outputs are numerically correct",
+                "expected": True,
+                "measured": correct,
+                "passed": bool(correct),
+            }
+        ]
+        payload["all_passed"] = bool(correct)
     return payload
 
 

@@ -51,3 +51,140 @@ def chaining_speedup(
     return decoupled_pair_latency(
         length, service_ratio, execute_startup
     ) / chained_pair_latency(length, service_ratio, execute_startup)
+
+
+#: Stated accuracy of the whole-program model below.  The model assumes
+#: every memory access is conflict-free (latency ``T + L + 1``, elements
+#: delivered one per cycle): inside the paper's stride windows the
+#: machine simulation matches it cycle for cycle, and a measured
+#: chaining speedup is accepted when it agrees with
+#: :func:`program_chaining_speedup` within this relative tolerance.
+CHAINING_MODEL_TOLERANCE = 0.05
+
+
+def program_latency(
+    program,
+    register_length: int,
+    service_ratio: int,
+    execute_startup: int,
+    *,
+    chained: bool,
+) -> int:
+    """Analytic completion cycle of a whole vector program.
+
+    Generalises the pair formulas above to arbitrary load/op/store
+    chains by replaying the decoupled machine's issue rules in closed
+    form — one outstanding memory access, execute operands chained on
+    the latest-ready conflict-free load when ``chained`` — under the
+    conflict-free assumption.  For a single LOAD -> OP pair this reduces
+    exactly to :func:`decoupled_pair_latency` /
+    :func:`chained_pair_latency`.
+    """
+    from repro.processor.isa import (
+        VBinary,
+        VGather,
+        VLoad,
+        VScalarOp,
+        VScatter,
+        VStore,
+        VSum,
+    )
+
+    if register_length < 1 or service_ratio < 1 or execute_startup < 1:
+        raise ProgramError(
+            "register_length, service ratio and execute startup must be >= 1"
+        )
+    memory_free = 1
+    execute_free = 1
+    ready: dict[int, int] = {}
+    #: register -> (first delivery, last delivery) of its latest cf load
+    deliveries: dict[int, tuple[int, int]] = {}
+    total = 0
+    for instruction in program:
+        length = (
+            instruction.length
+            if instruction.length is not None
+            else register_length
+        )
+        access_latency = service_ratio + length + 1
+        if isinstance(instruction, VLoad):
+            start = memory_free
+            end = start + access_latency - 1
+            ready[instruction.dst] = end
+            deliveries[instruction.dst] = (start + service_ratio + 1, end)
+            memory_free = end + 1
+        elif isinstance(instruction, VGather):
+            # Indexed access: completion time modelled like a load, but
+            # the arrival order is not deterministic, so never chained.
+            start = max(memory_free, ready.get(instruction.index, 0) + 1)
+            end = start + access_latency - 1
+            ready[instruction.dst] = end
+            deliveries.pop(instruction.dst, None)
+            memory_free = end + 1
+        elif isinstance(instruction, (VStore, VScatter)):
+            operands_ready = max(
+                (ready.get(register, 0) for register in instruction.reads()),
+                default=0,
+            )
+            start = max(memory_free, operands_ready + 1)
+            end = start + access_latency - 1
+            memory_free = end + 1
+        elif isinstance(instruction, (VBinary, VScalarOp, VSum)):
+            reads = instruction.reads()
+            candidate = (
+                max(reads, key=lambda register: ready.get(register, 0))
+                if chained and reads
+                else None
+            )
+            if candidate is not None and candidate in deliveries:
+                first, last = deliveries[candidate]
+                last = min(last, first + length - 1)
+                other_ready = max(
+                    (ready.get(r, 0) for r in reads if r != candidate),
+                    default=0,
+                )
+                start = max(execute_free, other_ready + 1, first + 1)
+                finish_feed = max(start + length - 1, last + 1)
+                end = finish_feed + execute_startup
+                execute_free = finish_feed + 1
+            else:
+                operands_ready = max(
+                    (ready.get(register, 0) for register in reads), default=0
+                )
+                start = max(execute_free, operands_ready + 1)
+                end = start + execute_startup + length - 1
+                execute_free = start + length
+            destination = instruction.writes()[0]
+            ready[destination] = end
+            deliveries.pop(destination, None)
+        else:
+            raise ProgramError(
+                f"cannot model instruction {instruction!r} analytically"
+            )
+        total = max(total, end)
+    return total
+
+
+def program_chaining_speedup(
+    program, register_length: int, service_ratio: int, execute_startup: int
+) -> float:
+    """Analytic decoupled/chained ratio for a whole program."""
+    chained = program_latency(
+        program,
+        register_length,
+        service_ratio,
+        execute_startup,
+        chained=True,
+    )
+    if chained == 0:
+        return 1.0
+    return (
+        program_latency(
+            program,
+            register_length,
+            service_ratio,
+            execute_startup,
+            chained=False,
+        )
+        / chained
+    )

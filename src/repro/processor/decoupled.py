@@ -20,6 +20,12 @@ re-enables chaining that buffered in-order access made impractical.
 Timing is accounted per instruction; data really moves (loads read the
 backing store, stores write it), so end-to-end numerical correctness is
 asserted alongside cycle counts in the tests.
+
+Most callers should not drive this class directly:
+:class:`repro.processor.engine.ProgramEngine` is the one execution API
+— it builds the machine, preloads memory, runs a program and packages
+timelines, memory runs and correctness verdicts; the scenario facade
+and the CLI both go through it.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ProgramError
-from repro.processor.isa import VAdd, VLoad, VMul, VScale, VStore
+from repro.processor.isa import VAdd, VLoad, VMul, VScale, VStore, VSub
 from repro.processor.program import Program
 
 
@@ -81,6 +81,87 @@ def daxpy_program(
         program.append(
             VStore(4, y_base + y_stride * strip.offset, y_stride, length)
         )
+    return program
+
+
+def saxpy_chain_program(
+    n: int,
+    register_length: int,
+    alpha: float,
+    x_base: int,
+    x_stride: int,
+    out_base: int,
+    out_stride: int,
+) -> Program:
+    """Strip-mined ``out = alpha * x`` — the minimal LOAD -> OP -> STORE
+    chain of Section 5-F (every execute operand comes straight off a
+    load, so chaining can overlap the whole kernel)."""
+    program = Program()
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(1, x_base + x_stride * strip.offset, x_stride, length)
+        )
+        program.append(VScale(2, 1, alpha, length))
+        program.append(
+            VStore(2, out_base + out_stride * strip.offset, out_stride, length)
+        )
+    return program
+
+
+def load_store_copy_program(
+    n: int,
+    register_length: int,
+    src_base: int,
+    src_stride: int,
+    dst_base: int,
+    dst_stride: int,
+) -> Program:
+    """Strip-mined memory-to-memory copy (pure access, no execute)."""
+    program = Program()
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(1, src_base + src_stride * strip.offset, src_stride, length)
+        )
+        program.append(
+            VStore(1, dst_base + dst_stride * strip.offset, dst_stride, length)
+        )
+    return program
+
+
+def fft_butterfly_program(
+    n: int, stage: int, register_length: int, base: int = 0
+) -> Program:
+    """Strip-mined radix-2 butterflies of one in-place FFT stage.
+
+    Stage ``k`` (0-based) pairs elements ``2**k`` apart: for each offset
+    within a half-group the top/bottom operands are stride ``2**(k+1)``
+    vectors of length ``n / 2**(k+1)`` (the same accesses as the
+    ``fft-stage`` workload), combined as ``top' = top + bottom``,
+    ``bottom' = top - bottom`` and stored back.
+    """
+    if n < 2 or n & (n - 1):
+        raise ProgramError(f"FFT size must be a power of two >= 2, got {n}")
+    if not 0 <= stage < n.bit_length() - 1:
+        raise ProgramError(f"stage {stage} out of range for FFT of size {n}")
+    half = 1 << stage
+    group = half * 2
+    count = n // group
+    program = Program()
+    for offset in range(half):
+        top_base = base + offset
+        bottom_base = base + offset + half
+        for strip in strip_bounds(count, register_length):
+            length = None if strip.length == register_length else strip.length
+            top = top_base + group * strip.offset
+            bottom = bottom_base + group * strip.offset
+            program.append(VLoad(1, top, group, length))
+            program.append(VLoad(2, bottom, group, length))
+            program.append(VAdd(3, 1, 2, length))
+            program.append(VSub(4, 1, 2, length))
+            program.append(VStore(3, top, group, length))
+            program.append(VStore(4, bottom, group, length))
     return program
 
 

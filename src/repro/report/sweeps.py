@@ -1,0 +1,89 @@
+"""One comparison table across a scenario grid's design points.
+
+``repro lab sweep grid.json`` expands a
+:class:`~repro.scenarios.grid.ScenarioGrid`, runs every design point
+through the lab's content-addressed cache, and renders *one* table —
+swept axes as the leading columns, one row per point — replacing the
+ad-hoc per-bench tables those sweeps used to be.  The helpers here are
+pure formatting: they take the grid plus each point's metric mapping
+(decoded from the lab artifact rows) and return ``(headers, rows)`` for
+:func:`repro.report.tables.render_table` / ``render_markdown``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.grid import ScenarioGrid
+from repro.scenarios.spec import ScenarioSpec
+
+#: Metrics every sweep table shows, in order (when the records have them).
+CORE_METRICS = (
+    "latency",
+    "minimum_latency",
+    "conflict_free",
+    "efficiency",
+    "issue_stalls",
+    "cycles_per_element",
+)
+
+#: Optional metrics appended when any design point reports them.
+EXTRA_METRICS = (
+    "extra:total_cycles",
+    "extra:overlap_fraction",
+    "extra:chaining_speedup",
+    "extra:numerically_correct",
+)
+
+
+def axis_columns(grid: ScenarioGrid) -> list[str]:
+    """Column labels for the grid's axes: the path leaf, or the full
+    dotted path when two axes share a leaf name."""
+    paths = [path for path, _values in grid.axes]
+    leaves = [path.rsplit(".", 1)[-1] for path in paths]
+    return [
+        leaf if leaves.count(leaf) == 1 else path
+        for path, leaf in zip(paths, leaves)
+    ]
+
+
+def axis_value(spec: ScenarioSpec, path: str):
+    """The value one expanded design point has at a dotted axis path."""
+    cursor = spec.to_dict()
+    for part in path.split("."):
+        cursor = cursor[part]
+    return cursor
+
+
+def sweep_table(
+    grid: ScenarioGrid, records: list[dict]
+) -> tuple[list[str], list[list]]:
+    """Headers and rows of the sweep comparison table.
+
+    ``records`` maps metric name -> value for each design point, in the
+    grid's expansion order (one entry per point; a point whose job
+    failed may pass an empty dict and renders as dashes).
+    """
+    points = grid.expand()
+    if len(records) != len(points):
+        raise ValueError(
+            f"grid expands to {len(points)} design points but "
+            f"{len(records)} result records were given"
+        )
+    metrics = [
+        metric
+        for metric in CORE_METRICS
+        if any(metric in record for record in records)
+    ]
+    metrics += [
+        metric
+        for metric in EXTRA_METRICS
+        if any(metric in record for record in records)
+    ]
+    headers = axis_columns(grid) + [
+        metric.removeprefix("extra:") for metric in metrics
+    ]
+    rows = []
+    for spec, record in zip(points, records):
+        row = [axis_value(spec, path) for path, _values in grid.axes]
+        row += [record.get(metric, "-") for metric in metrics]
+        rows.append(row)
+    return headers, rows

@@ -36,18 +36,26 @@ end is ``repro scenario run|list``.
 """
 
 from repro.scenarios import components as _components  # registration
+from repro.scenarios.components import ScenarioProgram
+from repro.scenarios.diff import (
+    ScenarioDiff,
+    diff_results,
+    render_scenario_diff,
+)
 from repro.scenarios.facade import (
+    TIMELINE_FIELDS,
     ScenarioResult,
     build_machine,
     build_workload,
     resolve_mapping,
     simulate,
 )
-from repro.scenarios.grid import ScenarioGrid, load_scenarios
+from repro.scenarios.grid import ScenarioGrid, load_grid, load_scenarios
 from repro.scenarios.registry import (
     CATEGORIES,
     DRIVE,
     MAPPING,
+    PROGRAM,
     WORKLOAD,
     build,
     example_params,
@@ -68,20 +76,27 @@ __all__ = [
     "CATEGORIES",
     "DRIVE",
     "MAPPING",
+    "PROGRAM",
+    "TIMELINE_FIELDS",
     "WORKLOAD",
     "ComponentSpec",
     "MemorySpec",
+    "ScenarioDiff",
     "ScenarioGrid",
+    "ScenarioProgram",
     "ScenarioResult",
     "ScenarioSpec",
     "build",
     "build_machine",
     "build_workload",
+    "diff_results",
     "example_params",
     "freeze_params",
     "freeze_value",
     "kinds",
+    "load_grid",
     "load_scenarios",
+    "render_scenario_diff",
     "resolve_mapping",
     "simulate",
     "summary",

@@ -1,4 +1,4 @@
-"""The registered scenario components: mappings, workloads, drives.
+"""The registered scenario components: mappings, workloads, drives, programs.
 
 Importing this module populates the :mod:`repro.scenarios.registry`
 tables.  Each factory is a thin, validating adapter from spec
@@ -20,14 +20,22 @@ from typing import Sequence, Union
 
 from repro.core.gather import IndexedAccess
 from repro.core.vector import VectorAccess
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProgramError
 from repro.mappings.dynamic import DynamicSchemeSelector
 from repro.mappings.interleaved import FieldInterleaved, LowOrderInterleaved
 from repro.mappings.linear import MatchedXorMapping
 from repro.mappings.matrix import PseudoRandomMapping
 from repro.mappings.section import SectionXorMapping
 from repro.mappings.skewed import SkewedMapping
-from repro.scenarios.registry import DRIVE, MAPPING, WORKLOAD, register
+from repro.processor.program import MemoryInit, Program, parse_source
+from repro.processor.stripmine import (
+    daxpy_program,
+    elementwise_product_program,
+    fft_butterfly_program,
+    load_store_copy_program,
+    saxpy_chain_program,
+)
+from repro.scenarios.registry import DRIVE, MAPPING, PROGRAM, WORKLOAD, register
 from repro.workloads.indexed import (
     bit_reversal_indices,
     block_shuffle_indices,
@@ -364,6 +372,283 @@ class DecoupledDrive:
     plan_mode: str = "auto"
     execute_startup: int = 4
     register_length: int | None = None
+
+
+# -- programs ------------------------------------------------------------
+
+#: Register length a program scenario uses when the drive leaves
+#: ``register_length`` unset (the paper's canonical L = 64 design).
+DEFAULT_PROGRAM_REGISTER_LENGTH = 64
+
+
+@dataclass(frozen=True)
+class ScenarioProgram:
+    """A whole vector program plus the data contract around it.
+
+    ``inputs`` are ``(base, stride, values)`` vectors preloaded into the
+    backing store before the run; ``expected`` are vectors the store
+    must hold afterwards (empty for raw instruction sources, whose
+    outputs the facade then cannot check numerically).
+    """
+
+    label: str
+    program: Program
+    inputs: tuple[MemoryInit, ...] = ()
+    expected: tuple[MemoryInit, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not len(self.program):
+            raise ConfigurationError(
+                f"program {self.label!r} has no instructions"
+            )
+
+
+def _check_length(n) -> int:
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        raise ConfigurationError(f"program length n must be an int >= 1, got {n!r}")
+    return n
+
+
+def _check_stride(name: str, stride) -> int:
+    if not isinstance(stride, int) or isinstance(stride, bool) or stride == 0:
+        raise ConfigurationError(
+            f"program stride {name!r} must be a non-zero integer, got {stride!r}"
+        )
+    return stride
+
+
+def _auto_base(name: str, base, previous_base: int, stride: int, n: int) -> int:
+    """Default one array's base just past the previous array's span, so
+    the registered kernels never overlap unless the spec asks them to."""
+    if base is None:
+        return previous_base + abs(stride) * n
+    if not isinstance(base, int) or isinstance(base, bool):
+        raise ConfigurationError(
+            f"program base {name!r} must be an integer, got {base!r}"
+        )
+    return base
+
+
+def _ramp(n: int, start: float = 0.0, step: float = 1.0) -> tuple[float, ...]:
+    """Deterministic input data: a simple arithmetic ramp."""
+    return tuple(start + step * i for i in range(n))
+
+
+@register(
+    PROGRAM,
+    "instructions",
+    example={
+        "lines": [
+            ".init base=0, stride=4, values=1;2;3;4",
+            "vload v1, base=0, stride=4, length=4",
+            "vscale v2, v1, scalar=2.0, length=4",
+            "vstore v2, base=512, stride=1, length=4",
+        ]
+    },
+    summary="Inline instruction list (one assembler statement per entry)",
+)
+def _instructions(lines) -> ScenarioProgram:
+    if not isinstance(lines, (list, tuple)) or not lines:
+        raise ConfigurationError(
+            "program kind 'instructions' needs a non-empty 'lines' list"
+        )
+    if not all(isinstance(line, str) for line in lines):
+        raise ConfigurationError("'lines' entries must all be strings")
+    program, inits = parse_source("\n".join(lines))
+    return ScenarioProgram(
+        label=f"instructions({len(program)} instructions)",
+        program=program,
+        inputs=inits,
+    )
+
+
+@register(
+    PROGRAM,
+    "asm",
+    example={
+        "text": (
+            ".fill base=0, stride=4, count=64, value=1.5\n"
+            "vload v1, base=0, stride=4\n"
+            "vadd v2, v1, v1"
+        )
+    },
+    summary="Assembler source text (directives .init/.fill allowed)",
+)
+def _asm(text: str) -> ScenarioProgram:
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigurationError("program kind 'asm' needs non-empty 'text'")
+    program, inits = parse_source(text)
+    return ScenarioProgram(
+        label=f"asm({len(program)} instructions)",
+        program=program,
+        inputs=inits,
+    )
+
+
+@register(
+    PROGRAM,
+    "daxpy",
+    example={"n": 96, "alpha": 2.0},
+    summary="Strip-mined y = alpha*x + y (loads, scale, add, store)",
+)
+def _daxpy(
+    n: int,
+    alpha: float = 2.0,
+    x_base: int = 0,
+    x_stride: int = 4,
+    y_base: int | None = None,
+    y_stride: int = 4,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    _check_stride("x_stride", x_stride)
+    _check_stride("y_stride", y_stride)
+    y_base = _auto_base("y_base", y_base, x_base, x_stride, n)
+    x = _ramp(n)
+    y = _ramp(n, start=1.0, step=2.0)
+    expected = tuple(alpha * a + b for a, b in zip(x, y))
+    return ScenarioProgram(
+        label=f"daxpy(n={n}, alpha={alpha})",
+        program=daxpy_program(
+            n, register_length, alpha, x_base, x_stride, y_base, y_stride
+        ),
+        inputs=((x_base, x_stride, x), (y_base, y_stride, y)),
+        expected=((y_base, y_stride, expected),),
+    )
+
+
+@register(
+    PROGRAM,
+    "elementwise-product",
+    example={"n": 96},
+    summary="Strip-mined out = a * b (two loads, multiply, store)",
+)
+def _elementwise_product(
+    n: int,
+    a_base: int = 0,
+    a_stride: int = 4,
+    b_base: int | None = None,
+    b_stride: int = 4,
+    out_base: int | None = None,
+    out_stride: int = 4,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    for name, stride in (
+        ("a_stride", a_stride), ("b_stride", b_stride), ("out_stride", out_stride)
+    ):
+        _check_stride(name, stride)
+    b_base = _auto_base("b_base", b_base, a_base, a_stride, n)
+    out_base = _auto_base("out_base", out_base, b_base, b_stride, n)
+    a = _ramp(n, start=1.0)
+    b = _ramp(n, start=2.0, step=0.5)
+    expected = tuple(left * right for left, right in zip(a, b))
+    return ScenarioProgram(
+        label=f"elementwise-product(n={n})",
+        program=elementwise_product_program(
+            n, register_length, a_base, a_stride, b_base, b_stride,
+            out_base, out_stride,
+        ),
+        inputs=((a_base, a_stride, a), (b_base, b_stride, b)),
+        expected=((out_base, out_stride, expected),),
+    )
+
+
+@register(
+    PROGRAM,
+    "saxpy-chain",
+    example={"n": 96, "alpha": 3.0},
+    summary="Strip-mined out = alpha*x — the minimal LOAD->OP->STORE chain",
+)
+def _saxpy_chain(
+    n: int,
+    alpha: float = 3.0,
+    x_base: int = 0,
+    x_stride: int = 4,
+    out_base: int | None = None,
+    out_stride: int = 4,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    _check_stride("x_stride", x_stride)
+    _check_stride("out_stride", out_stride)
+    out_base = _auto_base("out_base", out_base, x_base, x_stride, n)
+    x = _ramp(n, start=1.0)
+    expected = tuple(alpha * value for value in x)
+    return ScenarioProgram(
+        label=f"saxpy-chain(n={n}, alpha={alpha})",
+        program=saxpy_chain_program(
+            n, register_length, alpha, x_base, x_stride, out_base, out_stride
+        ),
+        inputs=((x_base, x_stride, x),),
+        expected=((out_base, out_stride, expected),),
+    )
+
+
+@register(
+    PROGRAM,
+    "load-store-copy",
+    example={"n": 96},
+    summary="Strip-mined memory-to-memory copy (pure access pipeline)",
+)
+def _load_store_copy(
+    n: int,
+    src_base: int = 0,
+    src_stride: int = 4,
+    dst_base: int | None = None,
+    dst_stride: int = 4,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    _check_stride("src_stride", src_stride)
+    _check_stride("dst_stride", dst_stride)
+    dst_base = _auto_base("dst_base", dst_base, src_base, src_stride, n)
+    values = _ramp(n, start=5.0)
+    return ScenarioProgram(
+        label=f"load-store-copy(n={n})",
+        program=load_store_copy_program(
+            n, register_length, src_base, src_stride, dst_base, dst_stride
+        ),
+        inputs=((src_base, src_stride, values),),
+        expected=((dst_base, dst_stride, values),),
+    )
+
+
+@register(
+    PROGRAM,
+    "fft-butterfly",
+    example={"n": 256, "stage": 3},
+    summary="Strip-mined radix-2 butterflies of one in-place FFT stage",
+)
+def _fft_butterfly(
+    n: int,
+    stage: int = 0,
+    base: int = 0,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    if not isinstance(stage, int) or isinstance(stage, bool) or stage < 0:
+        raise ConfigurationError(f"stage must be an int >= 0, got {stage!r}")
+    try:
+        program = fft_butterfly_program(n, stage, register_length, base)
+    except ProgramError as error:
+        raise ConfigurationError(
+            f"infeasible fft-butterfly(n={n}, stage={stage}): {error}"
+        ) from None
+    data = _ramp(n, start=1.0)
+    half = 1 << stage
+    out = list(data)
+    for top in range(n):
+        if (top // half) % 2 == 0:
+            bottom = top + half
+            out[top] = data[top] + data[bottom]
+            out[bottom] = data[top] - data[bottom]
+    return ScenarioProgram(
+        label=f"fft-butterfly(n={n}, stage={stage})",
+        program=program,
+        inputs=((base, 1, data),),
+        expected=((base, 1, tuple(out)),),
+    )
 
 
 @register(

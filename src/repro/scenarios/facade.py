@@ -5,16 +5,24 @@ Two entry points:
 * :func:`build_machine` — spec to live ``(MemoryConfig, AccessPlanner,
   MemorySystem)``, the wiring every experiment runner used to do by
   hand;
-* :func:`simulate` — build the machine, generate the workload, drive
-  the memory, and normalise the metrics every caller previously
-  extracted ad hoc (latency, stalls, conflict-freedom, efficiency,
-  per-module utilisation) into one JSON-safe
+* :func:`simulate` — build the machine, generate the workload (or the
+  program), drive the memory, and normalise the metrics every caller
+  previously extracted ad hoc (latency, stalls, conflict-freedom,
+  efficiency, per-module utilisation) into one JSON-safe
   :class:`ScenarioResult`.
 
-Both raise :class:`~repro.errors.ConfigurationError` for infeasible
-combinations (a dynamic mapping without a strided workload, the
-Figure 6 engine on a gather, a register shorter than the vector), so a
-bad spec fails loudly before any simulation starts.
+A spec with a ``program`` section runs a whole vector program through
+the one :class:`~repro.processor.engine.ProgramEngine` API — the same
+path the workload-driven ``decoupled`` drive uses — and the result
+additionally carries the per-instruction ``timeline``, total machine
+cycles, the overlap fraction, the measured-vs-analytic chaining
+speedup, and the end-to-end numerical-correctness verdict.
+
+Both entry points raise :class:`~repro.errors.ConfigurationError` for
+infeasible combinations (a dynamic mapping without a strided workload,
+the Figure 6 engine on a gather, a register shorter than the vector, a
+program under a non-decoupled drive), so a bad spec fails loudly before
+any simulation starts.
 """
 
 from __future__ import annotations
@@ -36,10 +44,32 @@ from repro.scenarios.components import (
     PlannerDrive,
     Workload,
 )
-from repro.scenarios.registry import DRIVE, MAPPING, WORKLOAD, build
+from repro.scenarios.registry import DRIVE, MAPPING, PROGRAM, WORKLOAD, build
 from repro.scenarios.spec import ScenarioSpec
 
 __unused = _components  # imported for its registration side effect
+
+#: Column names of one :attr:`ScenarioResult.timeline` row, in order.
+#: Matches :data:`repro.processor.engine.TIMELINE_FIELDS` (asserted in
+#: the tests); duplicated here so reading a stored result needs no
+#: processor import.
+TIMELINE_FIELDS = (
+    "position",
+    "mnemonic",
+    "unit",
+    "start_cycle",
+    "end_cycle",
+    "duration",
+    "mode",
+    "conflict_free",
+)
+
+
+def _jsonify(value):
+    """Extras values to their JSON-facing form (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -50,6 +80,10 @@ class ScenarioResult:
     stored as a lab artifact or printed by the CLI without any custom
     encoding.  ``extras`` carries drive-specific observations (total
     machine cycles, chained instruction count, latch occupancy...).
+    ``timeline`` — per-instruction cycle accounting, one row of
+    :data:`TIMELINE_FIELDS` values per executed instruction — is only
+    populated by the decoupled-machine paths (empty for planner and
+    figure6 drives, which simulate accesses, not instructions).
     """
 
     name: str
@@ -66,6 +100,7 @@ class ScenarioResult:
     module_count: int
     module_busy_cycles: tuple[int, ...]
     extras: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+    timeline: tuple[tuple, ...] = field(default_factory=tuple)
 
     @property
     def cycles_per_element(self) -> float:
@@ -109,7 +144,10 @@ class ScenarioResult:
             "module_count": self.module_count,
             "module_utilisation": self.module_utilisation,
             "module_busy_cycles": list(self.module_busy_cycles),
-            "extras": {key: value for key, value in self.extras},
+            "extras": {key: _jsonify(value) for key, value in self.extras},
+            "timeline": [
+                dict(zip(TIMELINE_FIELDS, row)) for row in self.timeline
+            ],
         }
 
     def metric_rows(self) -> list[list]:
@@ -145,7 +183,7 @@ def build_workload(spec: ScenarioSpec) -> Workload:
     if spec.workload is None:
         raise ConfigurationError(
             f"scenario {spec.name or spec.describe()!r} declares no workload; "
-            "add a 'workload' section to simulate it"
+            "add a 'workload' (or 'program') section to simulate it"
         )
     return build(WORKLOAD, spec.workload)
 
@@ -175,6 +213,25 @@ def resolve_mapping(
     return mapping
 
 
+def build_config(
+    spec: ScenarioSpec, workload: Workload | None = None
+) -> MemoryConfig:
+    """The memory configuration of a spec (geometry validation included).
+
+    The program path needs only this — the
+    :class:`~repro.processor.engine.ProgramEngine` builds its own
+    machine from the config — while :func:`build_machine` layers the
+    planner and memory system on top for the access-driven paths.
+    """
+    mapping = resolve_mapping(spec, workload)
+    return MemoryConfig(
+        mapping,
+        spec.memory.t,
+        input_capacity=spec.memory.q,
+        output_capacity=spec.memory.qp,
+    )
+
+
 def build_machine(
     spec: ScenarioSpec, workload: Workload | None = None
 ) -> tuple[MemoryConfig, AccessPlanner, MemorySystem]:
@@ -184,22 +241,23 @@ def build_machine(
     cycle-accurate memory system — identical objects to what the
     hand-wired constructors produce, so results are bit-for-bit equal.
     """
-    mapping = resolve_mapping(spec, workload)
-    config = MemoryConfig(
-        mapping,
-        spec.memory.t,
-        input_capacity=spec.memory.q,
-        output_capacity=spec.memory.qp,
-    )
+    config = build_config(spec, workload)
     planner = AccessPlanner(config.mapping, config.t)
     return config, planner, MemorySystem(config)
 
 
 def simulate(spec: ScenarioSpec) -> ScenarioResult:
     """Run one scenario end to end and normalise its metrics."""
+    drive = build(DRIVE, spec.drive)
+    if spec.program is not None:
+        if not isinstance(drive, DecoupledDrive):
+            raise ConfigurationError(
+                f"scenario programs run on the decoupled machine; set "
+                f"drive kind to 'decoupled' (got {spec.drive.kind!r})"
+            )
+        return _simulate_program(spec, build_config(spec), drive)
     workload = build_workload(spec)
     config, planner, system = build_machine(spec, workload)
-    drive = build(DRIVE, spec.drive)
     if isinstance(drive, PlannerDrive):
         return _simulate_planner(spec, workload, config, planner, system, drive)
     if isinstance(drive, Figure6Drive):
@@ -216,6 +274,7 @@ def _aggregate(
     config: MemoryConfig,
     runs: list[tuple[str, AccessResult]],
     extras: tuple[tuple[str, object], ...] = (),
+    timeline: tuple[tuple, ...] = (),
 ) -> ScenarioResult:
     """Fold per-access results into one scenario-level record.
 
@@ -249,6 +308,7 @@ def _aggregate(
         module_count=config.module_count,
         module_busy_cycles=tuple(busy),
         extras=extras,
+        timeline=timeline,
     )
 
 
@@ -299,9 +359,7 @@ def _simulate_decoupled(
     config: MemoryConfig,
     drive: DecoupledDrive,
 ) -> ScenarioResult:
-    from repro.processor.decoupled import DecoupledVectorMachine
-    from repro.processor.isa import VAdd, VLoad
-    from repro.processor.program import Program
+    from repro.processor.engine import ProgramEngine, single_load_program
 
     vector = workload.single_vector()
     register_length = drive.register_length or vector.length
@@ -310,28 +368,121 @@ def _simulate_decoupled(
             f"register_length {register_length} is shorter than the "
             f"workload vector ({vector.length} elements)"
         )
-    machine = DecoupledVectorMachine(
+    engine = ProgramEngine(
         config,
-        register_length=register_length,
+        register_length,
         execute_startup=drive.execute_startup,
         chaining=drive.chaining,
         plan_mode=drive.plan_mode,  # type: ignore[arg-type]
     )
-    machine.store.write_vector(
-        vector.base, vector.stride, [float(i) for i in range(vector.length)]
+    # The implicit program: one VLOAD (plus a dependent VADD when
+    # chaining, which makes the chained overlap observable).
+    program = single_load_program(vector, drive.chaining)
+    inputs = (
+        (
+            vector.base,
+            vector.stride,
+            tuple(float(i) for i in range(vector.length)),
+        ),
     )
-    instructions = [VLoad(1, vector.base, vector.stride, vector.length)]
-    if drive.chaining:
-        # A dependent add makes the chained overlap observable.
-        instructions.append(VAdd(2, 1, 1, vector.length))
-    result = machine.run(Program(instructions))
-
-    load = result.timings[0]
-    memory_run = machine.memory_access_results[0]
+    run = engine.run(program, inputs)
+    load_scheme = run.memory_runs[0][0]
     extras = (
-        ("total_cycles", result.total_cycles),
-        ("chained_instructions", result.chained_count()),
-        ("conflict_free_loads", result.conflict_free_loads()),
-        ("load_scheme", load.mode),
+        ("total_cycles", run.total_cycles),
+        ("chained_instructions", run.chained_count),
+        ("conflict_free_loads", run.conflict_free_loads),
+        ("load_scheme", load_scheme),
+        ("overlap_fraction", run.overlap_fraction),
     )
-    return _aggregate(spec, config, [(load.mode, memory_run)], extras)
+    return _aggregate(
+        spec, config, list(run.memory_runs), extras, timeline=run.timeline
+    )
+
+
+def _simulate_program(
+    spec: ScenarioSpec, config: MemoryConfig, drive: DecoupledDrive
+) -> ScenarioResult:
+    """Run a whole-program scenario through the :class:`ProgramEngine`.
+
+    Memory metrics (latency, stalls, conflict-freedom...) aggregate over
+    every LOAD/STORE the program issued; machine-level observations land
+    in ``extras`` and the per-instruction ``timeline``.  When the drive
+    enables chaining, the program is also run on an otherwise-identical
+    non-chaining machine, and the measured decoupled/chained speedup is
+    reported next to the analytic
+    :func:`repro.processor.chaining.program_chaining_speedup` prediction
+    with the model's stated tolerance.
+    """
+    from repro.processor.chaining import (
+        CHAINING_MODEL_TOLERANCE,
+        program_chaining_speedup,
+    )
+    from repro.processor.engine import ProgramEngine
+    from repro.scenarios.components import DEFAULT_PROGRAM_REGISTER_LENGTH
+
+    register_length = drive.register_length or DEFAULT_PROGRAM_REGISTER_LENGTH
+    scenario_program = build(
+        PROGRAM, spec.program, register_length=register_length
+    )
+    engine = ProgramEngine(
+        config,
+        register_length,
+        execute_startup=drive.execute_startup,
+        chaining=drive.chaining,
+        plan_mode=drive.plan_mode,  # type: ignore[arg-type]
+    )
+    run = engine.run(
+        scenario_program.program,
+        scenario_program.inputs,
+        scenario_program.expected,
+    )
+    extras: list[tuple[str, object]] = [
+        ("program", scenario_program.label),
+        ("instruction_count", len(scenario_program.program)),
+        ("memory_instructions",
+         scenario_program.program.memory_instruction_count()),
+        ("register_length", register_length),
+        ("total_cycles", run.total_cycles),
+        ("chained_instructions", run.chained_count),
+        ("conflict_free_loads", run.conflict_free_loads),
+        ("overlap_fraction", run.overlap_fraction),
+    ]
+    if run.outputs_correct is not None:
+        extras.append(("numerically_correct", run.outputs_correct))
+        if run.output_errors:
+            extras.append(("output_errors", run.output_errors[:5]))
+    if drive.chaining:
+        measured = engine.measured_chaining_speedup(
+            scenario_program.program, scenario_program.inputs, chained_run=run
+        )
+        extras.append(("chaining_speedup", measured))
+        # The analytic model assumes every access is conflict-free; only
+        # report it (and its acceptance tolerance) when that premise
+        # holds, so consumers never compare against an inapplicable
+        # prediction.
+        model_applicable = all(
+            access.conflict_free for _scheme, access in run.memory_runs
+        )
+        extras.append(("chaining_model_applicable", model_applicable))
+        if model_applicable:
+            extras.extend(
+                (
+                    (
+                        "chaining_speedup_model",
+                        program_chaining_speedup(
+                            scenario_program.program,
+                            register_length,
+                            config.service_ratio,
+                            drive.execute_startup,
+                        ),
+                    ),
+                    ("chaining_model_tolerance", CHAINING_MODEL_TOLERANCE),
+                )
+            )
+    return _aggregate(
+        spec,
+        config,
+        list(run.memory_runs),
+        tuple(extras),
+        timeline=run.timeline,
+    )

@@ -9,7 +9,8 @@ and be fanned out by the lab (each point hashing to its own cache
 entry).
 
 Axis paths address the spec's dict form: ``"memory.t"``,
-``"mapping.params.s"``, ``"workload.params.stride"``.  Expansion order
+``"mapping.params.s"``, ``"workload.params.stride"``,
+``"program.params.n"``.  Expansion order
 is deterministic: axes are kept sorted by path (so the order survives
 the canonical-JSON round trip) and later axes vary fastest, like
 nested loops.
@@ -153,6 +154,26 @@ def _bad_axis(path: str, values) -> tuple:
     raise ConfigurationError(
         f"grid axis {path!r} must list its values, got {values!r}"
     )
+
+
+def load_grid(text: str) -> ScenarioGrid:
+    """Parse a JSON document that must be a single scenario grid.
+
+    ``repro lab sweep`` feeds grid files through this: unlike
+    :func:`load_scenarios` it keeps the axes, which become the sweep
+    table's columns.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid grid JSON: {error}") from None
+    if not isinstance(data, dict) or "base" not in data:
+        raise ConfigurationError(
+            "a sweep needs a grid file — an object with 'base' and 'axes' "
+            "sections (got a plain spec or list; run it with "
+            "`repro scenario run` instead)"
+        )
+    return ScenarioGrid.from_dict(data)
 
 
 def load_scenarios(text: str) -> list[ScenarioSpec]:

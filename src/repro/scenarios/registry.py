@@ -1,11 +1,14 @@
 """Kind registries: the string -> factory tables behind scenario specs.
 
-Three categories, one registry each:
+Four categories, one registry each:
 
 * ``"mapping"`` — address mappings (module-number component ``F``);
 * ``"workload"`` — access streams (strided, indexed, kernel);
 * ``"drive"`` — how requests reach the memory (planner, Figure 6
-  engine, the decoupled machine).
+  engine, the decoupled machine);
+* ``"program"`` — whole vector programs for the decoupled machine
+  (inline instruction lists, assembler text, or named strip-mined
+  kernels such as ``daxpy``).
 
 A factory takes the spec's parameters as keyword arguments (plus
 category-specific context such as ``address_bits``) and returns the
@@ -27,8 +30,9 @@ from repro.scenarios.spec import ComponentSpec
 MAPPING = "mapping"
 WORKLOAD = "workload"
 DRIVE = "drive"
+PROGRAM = "program"
 
-CATEGORIES = (MAPPING, WORKLOAD, DRIVE)
+CATEGORIES = (MAPPING, WORKLOAD, DRIVE, PROGRAM)
 
 
 class _Entry:

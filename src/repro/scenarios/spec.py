@@ -222,7 +222,11 @@ class ScenarioSpec:
 
     ``workload`` may be None for machine-only specs (the experiment
     runners build a machine once and drive it with many vectors);
-    :func:`repro.scenarios.facade.simulate` requires one.
+    :func:`repro.scenarios.facade.simulate` requires a ``workload`` or a
+    ``program``.  ``program`` names a whole vector program (an inline
+    instruction list, assembler text, or a registered strip-mined
+    kernel) executed by the decoupled machine; a spec declares either a
+    workload or a program, never both.
     """
 
     mapping: ComponentSpec
@@ -230,6 +234,14 @@ class ScenarioSpec:
     workload: ComponentSpec | None = None
     drive: ComponentSpec = field(default=DEFAULT_DRIVE)
     name: str = ""
+    program: ComponentSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload is not None and self.program is not None:
+            raise ConfigurationError(
+                "a scenario declares either a 'workload' or a 'program', "
+                "not both"
+            )
 
     def to_dict(self) -> dict:
         data: dict = {}
@@ -239,6 +251,8 @@ class ScenarioSpec:
         data["memory"] = self.memory.to_dict()
         if self.workload is not None:
             data["workload"] = self.workload.to_dict()
+        if self.program is not None:
+            data["program"] = self.program.to_dict()
         data["drive"] = self.drive.to_dict()
         return data
 
@@ -248,7 +262,9 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"scenario spec must be an object, got {type(data).__name__}"
             )
-        unknown = set(data) - {"name", "mapping", "memory", "workload", "drive"}
+        unknown = set(data) - {
+            "name", "mapping", "memory", "workload", "drive", "program"
+        }
         if unknown:
             raise ConfigurationError(
                 f"unknown scenario spec keys: {', '.join(sorted(unknown))}"
@@ -262,6 +278,7 @@ class ScenarioSpec:
         if not isinstance(name, str):
             raise ConfigurationError(f"scenario name must be a string: {name!r}")
         workload = data.get("workload")
+        program = data.get("program")
         return cls(
             mapping=ComponentSpec.from_dict(data["mapping"]),
             memory=MemorySpec.from_dict(data["memory"]),
@@ -274,6 +291,9 @@ class ScenarioSpec:
                 else DEFAULT_DRIVE
             ),
             name=name,
+            program=(
+                ComponentSpec.from_dict(program) if program is not None else None
+            ),
         )
 
     def to_json(self) -> str:
@@ -327,6 +347,8 @@ class ScenarioSpec:
         ]
         if self.workload is not None:
             parts.append(f"workload={self.workload.describe()}")
+        if self.program is not None:
+            parts.append(f"program={self.program.describe()}")
         parts.append(f"drive={self.drive.describe()}")
         prefix = f"{self.name}: " if self.name else ""
         return prefix + ", ".join(parts)

@@ -1,0 +1,149 @@
+"""ProgramEngine tests: one execution API from instruction list to
+timelines, memory runs, overlap accounting and correctness verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vector import VectorAccess
+from repro.memory.config import MemoryConfig
+from repro.processor.decoupled import DecoupledVectorMachine
+from repro.processor.engine import (
+    TIMELINE_FIELDS,
+    ProgramEngine,
+    single_load_program,
+)
+from repro.processor.isa import VAdd, VLoad
+from repro.processor.program import Program
+from repro.processor.stripmine import daxpy_program, saxpy_chain_program
+
+
+def matched_config(q: int = 2) -> MemoryConfig:
+    return MemoryConfig.matched(t=3, s=4, input_capacity=q)
+
+
+def daxpy_case(n: int = 96, register_length: int = 64):
+    program = daxpy_program(n, register_length, 2.0, 0, 4, 8192, 4)
+    x = tuple(float(i) for i in range(n))
+    y = tuple(float(2 * i + 1) for i in range(n))
+    inputs = ((0, 4, x), (8192, 4, y))
+    expected = ((8192, 4, tuple(2.0 * a + b for a, b in zip(x, y))),)
+    return program, inputs, expected
+
+
+class TestEngineRuns:
+    def test_matches_direct_machine_execution(self):
+        program, inputs, _ = daxpy_case()
+        engine = ProgramEngine(matched_config(), 64, chaining=True)
+        run = engine.run(program, inputs)
+
+        machine = DecoupledVectorMachine(
+            matched_config(), register_length=64, chaining=True
+        )
+        for base, stride, values in inputs:
+            machine.store.write_vector(base, stride, values)
+        direct = machine.run(program)
+        assert run.total_cycles == direct.total_cycles
+        assert run.result.timings == direct.timings
+
+    def test_timeline_rows_match_schema(self):
+        program, inputs, _ = daxpy_case()
+        run = ProgramEngine(matched_config(), 64).run(program, inputs)
+        assert len(run.timeline) == len(program)
+        for row in run.timeline:
+            assert len(row) == len(TIMELINE_FIELDS)
+        # start/end ordering is coherent
+        positions = [row[0] for row in run.timeline]
+        assert positions == list(range(len(program)))
+        assert all(row[3] <= row[4] for row in run.timeline)
+
+    def test_memory_runs_pair_scheme_with_access_result(self):
+        program, inputs, _ = daxpy_case()
+        run = ProgramEngine(matched_config(), 64).run(program, inputs)
+        assert len(run.memory_runs) == program.memory_instruction_count()
+        for scheme, access in run.memory_runs:
+            assert isinstance(scheme, str)
+            assert access.element_count >= 1
+
+    def test_fresh_machine_per_run(self):
+        program, inputs, expected = daxpy_case()
+        engine = ProgramEngine(matched_config(), 64, chaining=True)
+        first = engine.run(program, inputs, expected)
+        second = engine.run(program, inputs, expected)
+        assert first.total_cycles == second.total_cycles
+        assert first.machine is not second.machine
+        assert second.outputs_correct
+
+
+class TestCorrectness:
+    def test_expected_outputs_verified(self):
+        program, inputs, expected = daxpy_case()
+        run = ProgramEngine(matched_config(), 64).run(program, inputs, expected)
+        assert run.outputs_correct is True
+        assert run.output_errors == ()
+
+    def test_wrong_expectation_detected(self):
+        program, inputs, _ = daxpy_case(n=8, register_length=8)
+        bad = ((8192, 4, tuple(-1.0 for _ in range(8))),)
+        run = ProgramEngine(matched_config(), 8).run(program, inputs, bad)
+        assert run.outputs_correct is False
+        assert run.output_errors
+
+    def test_unwritten_expectation_is_an_error_not_a_crash(self):
+        program, inputs, _ = daxpy_case(n=8, register_length=8)
+        missing = ((1 << 20, 1, (0.0,)),)
+        run = ProgramEngine(matched_config(), 8).run(program, inputs, missing)
+        assert run.outputs_correct is False
+
+    def test_no_expectation_means_no_verdict(self):
+        program, inputs, _ = daxpy_case(n=8, register_length=8)
+        run = ProgramEngine(matched_config(), 8).run(program, inputs)
+        assert run.outputs_correct is None
+
+
+class TestOverlapAndChaining:
+    def test_single_load_has_no_overlap(self):
+        vector = VectorAccess(0, 4, 64)
+        program = single_load_program(vector, chaining=False)
+        assert len(program) == 1
+        run = ProgramEngine(matched_config(), 64).run(
+            program, ((0, 4, tuple(float(i) for i in range(64))),)
+        )
+        assert run.overlap_fraction == 0.0
+
+    def test_chained_kernel_overlaps(self):
+        program, inputs, _ = daxpy_case()
+        run = ProgramEngine(matched_config(), 64, chaining=True).run(
+            program, inputs
+        )
+        assert run.chained_count > 0
+        assert run.overlap_fraction > 0.0
+
+    def test_measured_speedup_above_one_for_conflict_free_chain(self):
+        program = saxpy_chain_program(128, 64, 3.0, 0, 4, 8192, 4)
+        inputs = ((0, 4, tuple(float(i) for i in range(128))),)
+        engine = ProgramEngine(matched_config(), 64, chaining=True)
+        assert engine.measured_chaining_speedup(program, inputs) > 1.0
+
+    def test_chaining_falls_back_when_not_conflict_free(self):
+        # stride 1 is outside the matched t=3, s=4 window: loads are not
+        # conflict-free, so chained and decoupled execution coincide.
+        program = Program([VLoad(1, 0, 1, 64), VAdd(2, 1, 1, 64)])
+        inputs = ((0, 1, tuple(float(i) for i in range(64))),)
+        chained = ProgramEngine(matched_config(), 64, chaining=True).run(
+            program, inputs
+        )
+        decoupled = ProgramEngine(matched_config(), 64, chaining=False).run(
+            program, inputs
+        )
+        assert chained.conflict_free_loads == 0
+        assert chained.chained_count == 0
+        assert chained.total_cycles == decoupled.total_cycles
+
+
+class TestSingleLoadProgram:
+    @pytest.mark.parametrize("chaining", [False, True])
+    def test_shape(self, chaining):
+        program = single_load_program(VectorAccess(16, 12, 128), chaining)
+        assert len(program) == (2 if chaining else 1)
+        assert program.memory_instruction_count() == 1

@@ -100,3 +100,76 @@ class TestRoundTrip:
         text = disassemble(first)
         second = assemble(text)
         assert first.instructions == second.instructions
+
+
+class TestAssemblerErrorLocation:
+    """Every parse failure names the offending line and source text."""
+
+    def test_missing_operand_reports_line_and_source(self):
+        source = "vload v1, base=0, stride=4\nvload v2, stride=1, length=4"
+        with pytest.raises(ProgramError) as excinfo:
+            assemble(source)
+        error = excinfo.value
+        assert error.line_number == 2
+        assert error.source_line == "vload v2, stride=1, length=4"
+        assert "line 2" in str(error)
+        assert "vload v2, stride=1, length=4" in str(error)
+        assert "base=<value>" in str(error)
+
+    def test_unknown_mnemonic_is_located(self):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble("# comment\n\nvwarp v1, v2, v3")
+        assert excinfo.value.line_number == 3
+        assert "vwarp" in str(excinfo.value)
+
+    def test_instruction_constructor_errors_are_located(self):
+        # stride 0 is rejected by VLoad itself; the location must not be
+        # lost on the re-raise.
+        with pytest.raises(ProgramError) as excinfo:
+            assemble("vload v1, base=0, stride=0")
+        assert excinfo.value.line_number == 1
+        assert excinfo.value.source_line == "vload v1, base=0, stride=0"
+
+    def test_bad_register_token_is_located(self):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble("vadd r1, v2, v3")
+        assert excinfo.value.line_number == 1
+        assert "r1" in str(excinfo.value)
+
+    def test_hand_built_program_errors_carry_no_location(self):
+        program = Program([VAdd(1, 2, 3)])
+        with pytest.raises(ProgramError) as excinfo:
+            program.validate(8)
+        assert excinfo.value.line_number is None
+        assert excinfo.value.source_line is None
+
+
+class TestParseSource:
+    def test_directives_become_memory_inits(self):
+        from repro.processor.program import parse_source
+
+        program, inits = parse_source(
+            ".init base=0, stride=2, values=1;2;3\n"
+            "vload v1, base=0, stride=2, length=3\n"
+            ".fill base=100, stride=1, count=4, value=7.5\n"
+        )
+        assert len(program) == 1
+        assert inits == ((0, 2, (1.0, 2.0, 3.0)), (100, 1, (7.5,) * 4))
+
+    def test_directive_errors_are_located(self):
+        from repro.processor.program import parse_source
+
+        with pytest.raises(ProgramError) as excinfo:
+            parse_source("vadd v1, v1, v1\n.init base=0, stride=2")
+        assert excinfo.value.line_number == 2
+        assert "values" in str(excinfo.value)
+
+    def test_unknown_directive_rejected(self):
+        from repro.processor.program import parse_source
+
+        with pytest.raises(ProgramError, match="unknown directive"):
+            parse_source(".warp base=0")
+
+    def test_assemble_rejects_directives(self):
+        with pytest.raises(ProgramError, match="not allowed"):
+            assemble(".init base=0, stride=1, values=1")

@@ -91,3 +91,58 @@ class TestGeneratedPrograms:
         )
         machine.run(program)
         assert machine.store.read_vector(200000, 1, n) == [6.0] * n
+
+
+class TestNewKernelBuilders:
+    def test_saxpy_chain_moves_data(self):
+        from repro.processor.stripmine import saxpy_chain_program
+
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4), register_length=64
+        )
+        n = 150  # 64 + 64 + 22: exercises the remainder strip
+        machine.store.write_vector(0, 1, [float(i) for i in range(n)])
+        program = saxpy_chain_program(n, 64, 2.5, 0, 1, 50000, 1)
+        assert len(program) == 9  # 3 strips x 3 instructions
+        machine.run(program)
+        assert machine.store.read_vector(50000, 1, n) == [
+            2.5 * i for i in range(n)
+        ]
+
+    def test_load_store_copy_moves_data(self):
+        from repro.processor.stripmine import load_store_copy_program
+
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4), register_length=64
+        )
+        values = [float(7 * i) for i in range(100)]
+        machine.store.write_vector(0, 3, values)
+        program = load_store_copy_program(100, 64, 0, 3, 60000, 1)
+        machine.run(program)
+        assert machine.store.read_vector(60000, 1, 100) == values
+
+    def test_fft_butterfly_computes_stage(self):
+        from repro.processor.stripmine import fft_butterfly_program
+
+        machine = DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4), register_length=8
+        )
+        n, stage = 32, 1
+        data = [float(i + 1) for i in range(n)]
+        machine.store.write_vector(0, 1, data)
+        machine.run(fft_butterfly_program(n, stage, 8))
+        half = 1 << stage
+        out = machine.store.read_vector(0, 1, n)
+        for top in range(n):
+            if (top // half) % 2 == 0:
+                bottom = top + half
+                assert out[top] == data[top] + data[bottom]
+                assert out[bottom] == data[top] - data[bottom]
+
+    def test_fft_butterfly_rejects_bad_shapes(self):
+        from repro.processor.stripmine import fft_butterfly_program
+
+        with pytest.raises(ProgramError):
+            fft_butterfly_program(24, 0, 8)  # not a power of two
+        with pytest.raises(ProgramError):
+            fft_butterfly_program(16, 4, 8)  # stage out of range

@@ -1,0 +1,128 @@
+"""Design-point diffing: direction-aware regression classification."""
+
+from __future__ import annotations
+
+from repro.scenarios import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioSpec,
+    diff_results,
+    render_scenario_diff,
+    simulate,
+)
+
+
+def result_dict(**overrides) -> dict:
+    base = {
+        "name": "point",
+        "drive": "planner",
+        "schemes": ["conflict_free"],
+        "access_count": 1,
+        "element_count": 128,
+        "latency": 137,
+        "minimum_latency": 137,
+        "excess_latency": 0,
+        "conflict_free": True,
+        "issue_stalls": 0,
+        "wait_count": 0,
+        "cycles_per_element": 137 / 128,
+        "efficiency": 1.0,
+        "service_ratio": 8,
+        "module_count": 8,
+        "module_utilisation": 0.5,
+        "module_busy_cycles": [17] * 8,
+        "extras": {},
+        "timeline": [],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestClassification:
+    def test_identical_records_have_no_entries(self):
+        diff = diff_results(result_dict(), result_dict())
+        assert not diff.entries
+        assert not diff.has_regressions
+        assert diff.identical == diff.compared
+
+    def test_latency_increase_is_a_regression(self):
+        diff = diff_results(result_dict(), result_dict(latency=150))
+        assert [e.metric for e in diff.regressions] == ["latency"]
+
+    def test_latency_decrease_is_an_improvement(self):
+        diff = diff_results(result_dict(), result_dict(latency=120))
+        assert not diff.has_regressions
+        assert [e.metric for e in diff.improvements] == ["latency"]
+
+    def test_lost_conflict_freedom_is_a_regression(self):
+        diff = diff_results(result_dict(), result_dict(conflict_free=False))
+        assert any(e.metric == "conflict_free" for e in diff.regressions)
+
+    def test_efficiency_drop_is_a_regression(self):
+        diff = diff_results(result_dict(), result_dict(efficiency=0.8))
+        assert any(e.metric == "efficiency" for e in diff.regressions)
+
+    def test_lost_correctness_is_a_regression(self):
+        diff = diff_results(
+            result_dict(extras={"numerically_correct": True}),
+            result_dict(extras={"numerically_correct": False}),
+        )
+        assert any(
+            e.metric == "extra:numerically_correct" for e in diff.regressions
+        )
+
+    def test_total_cycles_increase_is_a_regression(self):
+        diff = diff_results(
+            result_dict(extras={"total_cycles": 200}),
+            result_dict(extras={"total_cycles": 260}),
+        )
+        assert any(e.metric == "extra:total_cycles" for e in diff.regressions)
+
+    def test_one_sided_metric_is_a_change(self):
+        diff = diff_results(
+            result_dict(), result_dict(extras={"total_cycles": 10})
+        )
+        assert not diff.has_regressions
+        assert any(e.metric == "extra:total_cycles" for e in diff.changes)
+
+    def test_names_may_differ(self):
+        diff = diff_results(result_dict(name="a"), result_dict(name="b"))
+        assert not diff.entries
+
+    def test_timeline_difference_is_a_change(self):
+        diff = diff_results(
+            result_dict(timeline=[{"position": 0}]),
+            result_dict(timeline=[{"position": 0}, {"position": 1}]),
+        )
+        assert not diff.has_regressions
+        assert any(e.metric == "timeline" for e in diff.changes)
+
+
+class TestRendering:
+    def test_render_lists_regressions_first(self):
+        diff = diff_results(
+            result_dict(), result_dict(latency=150, efficiency=0.9)
+        )
+        text = render_scenario_diff(diff)
+        assert "[REGRESSION] latency: 137 -> 150 (+13)" in text
+        assert text.index("REGRESSION") < text.index("regression(s)")
+
+    def test_render_no_regressions(self):
+        text = render_scenario_diff(diff_results(result_dict(), result_dict()))
+        assert "metric-identical" in text
+
+
+class TestEndToEnd:
+    def test_ordered_mode_regresses_against_auto(self):
+        base = ScenarioSpec(
+            mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+            memory=MemorySpec(t=3),
+            workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+        )
+        ordered = base.replace("drive.params.mode", "ordered")
+        diff = diff_results(
+            simulate(base).to_dict(), simulate(ordered).to_dict()
+        )
+        assert diff.has_regressions
+        assert any(e.metric == "latency" for e in diff.regressions)
+        assert any(e.metric == "conflict_free" for e in diff.regressions)

@@ -133,3 +133,156 @@ class TestLabRunParam:
         )
         assert code == 2
         assert "not in the selected jobs" in capsys.readouterr().err
+
+
+@pytest.fixture
+def program_spec_file(tmp_path):
+    spec = ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3, q=2),
+        program=ComponentSpec.of("daxpy", n=96, x_stride=4, y_stride=4),
+        drive=ComponentSpec.of("decoupled", chaining=True),
+        name="cli-daxpy",
+    )
+    path = tmp_path / "program.json"
+    path.write_text(spec.to_json())
+    return spec, path
+
+
+class TestScenarioRunProgram:
+    def test_program_spec_prints_timeline_and_metrics(
+        self, program_spec_file, capsys
+    ):
+        _spec, path = program_spec_file
+        assert main(["scenario", "run", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "extra:numerically_correct" in output
+        assert "extra:chaining_speedup" in output
+        assert "start_cycle" in output  # the per-instruction timeline
+        assert "chained" in output
+
+    def test_program_spec_json_round_trips(self, program_spec_file, capsys):
+        spec, path = program_spec_file
+        assert main(["scenario", "run", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["spec"] == spec.to_dict()
+        assert payload[0]["result"]["extras"]["numerically_correct"] is True
+        assert len(payload[0]["result"]["timeline"]) == 10
+
+    def test_program_spec_runs_through_lab_cache(
+        self, program_spec_file, tmp_path, capsys
+    ):
+        _spec, path = program_spec_file
+        root = str(tmp_path / "lab")
+        assert main(["scenario", "run", str(path), "--lab", "--root", root]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", str(path), "--lab", "--root", root]) == 0
+        assert "1 cache hits" in capsys.readouterr().out
+
+
+class TestScenarioDiff:
+    def write(self, tmp_path, name, spec):
+        path = tmp_path / name
+        path.write_text(spec.to_json())
+        return str(path)
+
+    def test_identical_points_exit_zero(self, spec_file, capsys):
+        _spec, path = spec_file
+        assert main(["scenario", "diff", str(path), str(path)]) == 0
+        assert "metric-identical" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = ScenarioSpec(
+            mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+            memory=MemorySpec(t=3),
+            workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+            name="auto",
+        )
+        ordered = base.replace("drive.params.mode", "ordered").replace(
+            "name", "ordered"
+        )
+        file_a = self.write(tmp_path, "a.json", base)
+        file_b = self.write(tmp_path, "b.json", ordered)
+        assert main(["scenario", "diff", file_a, file_b]) == 1
+        output = capsys.readouterr().out
+        assert "[REGRESSION] latency" in output
+        # the reverse direction is an improvement, not a regression
+        assert main(["scenario", "diff", file_b, file_a]) == 0
+
+    def test_missing_file_exits_two(self, spec_file, capsys):
+        _spec, path = spec_file
+        assert main(["scenario", "diff", str(path), "/nonexistent.json"]) == 2
+        assert "no such scenario file" in capsys.readouterr().err
+
+    def test_grid_file_rejected(self, tmp_path, spec_file, capsys):
+        spec, path = spec_file
+        grid = ScenarioGrid.of(spec, memory__q=(1, 2))
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(grid.to_json())
+        assert main(["scenario", "diff", str(path), str(grid_path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestLabSweep:
+    @pytest.fixture
+    def grid_file(self, tmp_path):
+        spec = ScenarioSpec(
+            mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+            memory=MemorySpec(t=3, q=2),
+            program=ComponentSpec.of("saxpy-chain", n=64),
+            drive=ComponentSpec.of("decoupled", chaining=True),
+            name="sweep",
+        )
+        grid = ScenarioGrid.of(
+            spec,
+            program__params__n=(64, 96),
+            drive__params__chaining=(False, True),
+        )
+        path = tmp_path / "grid.json"
+        path.write_text(grid.to_json())
+        return path
+
+    def test_sweep_renders_axes_as_columns(self, grid_file, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        assert main(["lab", "sweep", str(grid_file), "--root", root,
+                     "--jobs", "1"]) == 0
+        output = capsys.readouterr().out
+        header = next(
+            line for line in output.splitlines() if "latency" in line
+        )
+        assert "chaining" in header and "n" in header
+        assert "numerically_correct" in header
+        assert "4 design points" in output
+
+    def test_sweep_is_cached_on_rerun(self, grid_file, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        assert main(["lab", "sweep", str(grid_file), "--root", root,
+                     "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["lab", "sweep", str(grid_file), "--root", root,
+                     "--jobs", "1"]) == 0
+        assert "4 cache hits" in capsys.readouterr().out
+
+    def test_sweep_markdown_output_file(self, grid_file, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        out = tmp_path / "table.md"
+        assert main(["lab", "sweep", str(grid_file), "--root", root,
+                     "--jobs", "1", "--markdown", "--output", str(out)]) == 0
+        assert out.read_text().startswith("### grid of 4 scenarios")
+        assert "| chaining | n |" in out.read_text()
+
+    def test_plain_spec_file_rejected(self, spec_file, tmp_path, capsys):
+        _spec, path = spec_file
+        code = main(
+            ["lab", "sweep", str(path), "--root", str(tmp_path / "lab")]
+        )
+        assert code == 2
+        assert "grid file" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["lab", "sweep", "/nonexistent/grid.json",
+             "--root", str(tmp_path / "lab")]
+        )
+        assert code == 2
+        assert "no such grid file" in capsys.readouterr().err
