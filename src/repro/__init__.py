@@ -56,7 +56,10 @@ Module map
 * :mod:`repro.report` — experiment runners (E01..E16) and table/figure
   rendering;
 * :mod:`repro.lab` — parallel experiment orchestration with
-  content-addressed result caching and cross-run diffing;
+  content-addressed result caching, cross-run diffing and pluggable
+  execution backends (in-process, process pool, or a filesystem-spool
+  sharding protocol served by ``repro lab worker`` processes on any
+  host; detached stores fold back via ``repro lab merge``);
 * :mod:`repro.cli` — the ``repro`` command line
   (``plan``/``window``/``experiments``/``survey``/``run``/
   ``scenario``/``lab``).
@@ -114,7 +117,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AccessPlan",

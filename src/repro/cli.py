@@ -14,8 +14,12 @@ Usage (also via ``python -m repro``)::
     repro lab sweep examples/scenario_program_grid.json
     repro lab run --all --jobs 8
     repro lab run --ids E03 --param E03:lambda_exponent=8
+    repro lab run --all --backend spool       # + `repro lab worker` shards
+    repro lab worker .repro-lab/spool --max-idle 60
+    repro lab merge /mnt/worker-host/.repro-lab
     repro lab diff 20260729T120000Z-aaaa 20260729T130000Z-bbbb
-    repro lab status
+    repro lab status --json
+    repro lab index --verify
     repro lab summarize --output SUMMARY.md
 
 Every subcommand prints plain text; exit status is non-zero when an
@@ -63,6 +67,55 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend flags `lab run` and `lab sweep` share."""
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "pool", "spool"],
+        default=None,
+        help="execution backend: serial (in-process), pool (process "
+        "pool, the default), or spool (filesystem spool served by "
+        "`repro lab worker` processes)",
+    )
+    parser.add_argument(
+        "--stale-after",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="spool backend: requeue claims whose worker heartbeat is "
+        "older than this (default 60)",
+    )
+    parser.add_argument(
+        "--spool-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="spool backend: fail if the batch has not completed after "
+        "this long (default: wait forever)",
+    )
+    parser.add_argument(
+        "--participate",
+        action="store_true",
+        help="spool backend: the coordinator also claims and executes "
+        "jobs while polling (works with zero external workers)",
+    )
+
+
+def _build_backend(args: argparse.Namespace, store):
+    """The backend instance (or name) `run_jobs` should execute through."""
+    if getattr(args, "backend", None) != "spool":
+        return args.backend
+    from repro.lab import SpoolBackend
+
+    return SpoolBackend(
+        store.root / "spool",
+        stale_after=args.stale_after,
+        participate=args.participate,
+        timeout=args.spool_timeout,
+        announce=print,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -173,11 +226,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     lab_run.add_argument("--root", default=None, help=root_help)
+    _add_backend_options(lab_run)
+
+    lab_worker = lab_commands.add_parser(
+        "worker",
+        help="serve spooled jobs: claim, execute, write results "
+        "(run any number, on any host sharing the spool directory)",
+    )
+    lab_worker.add_argument(
+        "spool_dir",
+        help="a spool directory (one run's, or the parent holding many)",
+    )
+    lab_worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between scans for claimable jobs (default 0.2)",
+    )
+    lab_worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: serve batch "
+        "after batch until `touch <spool-dir>/STOP` or Ctrl-C)",
+    )
+    lab_worker.add_argument(
+        "--once",
+        action="store_true",
+        help="drain what is claimable right now, then exit",
+    )
+
+    lab_merge = lab_commands.add_parser(
+        "merge",
+        help="fold another lab root's artifacts and runs into this one "
+        "(content-addressed, conflict-free, idempotent)",
+    )
+    lab_merge.add_argument(
+        "other_root", help="the detached lab root to import from"
+    )
+    lab_merge.add_argument("--root", default=None, help=root_help)
 
     lab_status = lab_commands.add_parser(
         "status", help="show cache coverage and recent runs"
     )
     lab_status.add_argument("--root", default=None, help=root_help)
+    lab_status.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the status as one JSON object instead of tables",
+    )
 
     lab_summarize = lab_commands.add_parser(
         "summarize", help="render a Markdown summary of all cached results"
@@ -191,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
         "index", help="rebuild the SQLite index from the artifact files"
     )
     lab_index.add_argument("--root", default=None, help=root_help)
+    lab_index.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute stored config hashes instead and report drift "
+        "(exit 1 on corrupt or mismatched artifacts)",
+    )
 
     lab_diff = lab_commands.add_parser(
         "diff",
@@ -225,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the table to this file"
     )
     lab_sweep.add_argument("--root", default=None, help=root_help)
+    _add_backend_options(lab_sweep)
 
     scenario = commands.add_parser(
         "scenario",
@@ -407,6 +512,12 @@ def command_lab(args: argparse.Namespace) -> int:
         write_run_artifacts,
     )
 
+    if args.lab_command == "worker":
+        # Workers serve a spool directory and own no lab root: results
+        # travel back as done-files and only the coordinator persists
+        # them into its store.
+        return _lab_worker(args)
+
     store = ArtifactStore(args.root or default_lab_root())
     registry = build_registry()
 
@@ -455,6 +566,7 @@ def command_lab(args: argparse.Namespace) -> int:
             workers=args.jobs,
             force=args.force,
             progress=print,
+            backend=_build_backend(args, store),
         )
         run_dir = write_run_artifacts(store, report)
         print(
@@ -469,30 +581,48 @@ def command_lab(args: argparse.Namespace) -> int:
             return 1
         return 0
 
-    if args.lab_command == "status":
-        from repro.lab import cached_records
+    if args.lab_command == "merge":
+        other = ArtifactStore(args.other_root)
+        counts = store.merge(other)
+        print(
+            f"merged {other.root} into {store.root}: "
+            f"{counts['artifacts_imported']} artifact(s) imported, "
+            f"{counts['artifacts_skipped']} already present, "
+            f"{counts['corrupt_skipped']} corrupt skipped, "
+            f"{counts['runs_imported']} run(s) imported"
+        )
+        return 0
 
-        cached, missing = cached_records(store, registry)
-        by_id = {spec.job_id: record for spec, record in cached}
+    if args.lab_command == "status":
+        import json as json_module
+
+        from repro.lab import status_payload
+
+        payload = status_payload(store, registry)
+        if args.as_json:
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+            return 0
         rows = []
-        for job_id in sorted(registry):
-            record = by_id.get(job_id)
-            if record is None:
-                rows.append([job_id, registry[job_id].kind, "-", "-", "-"])
+        for job in payload["jobs"]:
+            if not job["cached"]:
+                rows.append([job["job_id"], job["kind"], "-", "-", "-"])
             else:
                 rows.append(
                     [
-                        job_id,
-                        registry[job_id].kind,
+                        job["job_id"],
+                        job["kind"],
                         "yes",
-                        "pass" if record["all_passed"] else "FAIL",
-                        f"{record['elapsed_seconds']:.2f}s",
+                        "pass" if job["all_passed"] else "FAIL",
+                        f"{job['elapsed_seconds']:.2f}s",
                     ]
                 )
         print(f"lab root: {store.root}")
-        print(f"cached:   {len(cached)}/{len(registry)} registered jobs")
+        print(
+            f"cached:   {payload['cached']}/{payload['registered']} "
+            "registered jobs"
+        )
         print(render_table(["job", "kind", "cached", "checks", "cost"], rows))
-        runs = store.runs(limit=5)
+        runs = payload["runs"]
         if runs:
             print()
             print(
@@ -541,8 +671,46 @@ def command_lab(args: argparse.Namespace) -> int:
     if args.lab_command == "sweep":
         return _lab_sweep(args, store)
 
+    if args.verify:
+        report = store.verify()
+        print(
+            f"verified {report['checked']} artifact(s) under {store.root}: "
+            f"{len(report['ok'])} ok, {len(report['stale'])} stale, "
+            f"{len(report['mismatched'])} mismatched, "
+            f"{len(report['corrupt'])} corrupt, "
+            f"{len(report['unverifiable'])} unverifiable"
+        )
+        for label in ("stale", "mismatched", "corrupt", "unverifiable"):
+            for address in report[label]:
+                print(f"  [{label}] {address}")
+        return 1 if report["mismatched"] or report["corrupt"] else 0
+
     count = store.rebuild_index()
     print(f"indexed {count} artifacts into {store.index_path}")
+    return 0
+
+
+def _lab_worker(args: argparse.Namespace) -> int:
+    """`repro lab worker`: serve one spool directory until done/idle."""
+    from pathlib import Path
+
+    from repro.lab import serve
+
+    spool_dir = Path(args.spool_dir)
+    if args.once and not spool_dir.is_dir():
+        print(f"no such spool directory: {spool_dir}", file=sys.stderr)
+        return 2
+    stats = serve(
+        spool_dir,
+        poll=args.poll,
+        max_idle=args.max_idle,
+        once=args.once,
+        progress=print,
+    )
+    print(
+        f"worker done: {stats.executed} job(s) executed, "
+        f"{stats.skipped} claim(s) skipped"
+    )
     return 0
 
 
@@ -573,6 +741,7 @@ def _lab_sweep(args: argparse.Namespace, store) -> int:
         workers=args.jobs,
         force=args.force,
         progress=print,
+        backend=_build_backend(args, store),
     )
     write_run_artifacts(store, report)
     outcomes = {outcome.spec.job_id: outcome for outcome in report.outcomes}

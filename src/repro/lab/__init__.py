@@ -3,19 +3,49 @@
 The lab turns everything this repository can measure — the E01..E16
 paper-reproduction experiments, the design-space sweeps and the A1..A7
 ablation benches — into declaratively-specified jobs that fan out over
-a process pool and land in a content-addressed artifact store:
+a pluggable execution backend and land in a content-addressed artifact
+store:
 
 * :mod:`repro.lab.jobs` — the job registry and worker entry point,
   including parameterised experiment jobs (``experiment_spec``) and
   scenario jobs (``scenario_job``) whose params carry a full
   :class:`repro.scenarios.ScenarioSpec` into the cache key;
 * :mod:`repro.lab.hashing` — canonical config hashing + cell codecs;
-* :mod:`repro.lab.store` — JSON artifacts + SQLite cross-run index;
-* :mod:`repro.lab.executor` — cache-aware ``ProcessPoolExecutor`` fan-out;
+* :mod:`repro.lab.store` — JSON artifacts + SQLite cross-run index,
+  ``merge`` for folding detached stores back in, ``verify`` for
+  recomputing stored config hashes;
+* :mod:`repro.lab.backends` — the :class:`ExecutorBackend` protocol
+  and its in-process implementations;
+* :mod:`repro.lab.spool` — the filesystem-spool sharding protocol
+  (coordinator + ``repro lab worker`` loop);
+* :mod:`repro.lab.executor` — cache-aware batch execution over any
+  backend;
 * :mod:`repro.lab.manifest` — per-run manifest.json / report.md and the
   byte-stable EXPERIMENTS.md renderer;
 * :mod:`repro.lab.diffing` — cross-run regression diffing
   (``repro lab diff``).
+
+## Backends
+
+Every ``run_jobs`` call (and ``repro lab run|sweep --backend ...``)
+executes its cache misses through one of:
+
+* ``serial`` — :class:`SerialBackend`: everything in this process, in
+  order.  Zero dependencies, deterministic scheduling; what tests and
+  debuggers want.
+* ``pool`` — :class:`ProcessPoolBackend` (default): one worker process
+  per CPU via ``ProcessPoolExecutor``; single-job batches short-circuit
+  to in-process execution.  One-machine parallelism.
+* ``spool`` — :class:`SpoolBackend`: the coordinator writes pending
+  jobs as JSON files under ``<lab-root>/spool/<run-id>/pending/``; any
+  number of ``repro lab worker`` processes — on this host or any host
+  sharing the directory — claim jobs via atomic rename, execute them,
+  and write results into ``done/``.  Stale claims (dead workers) are
+  requeued by heartbeat age.  Shard-anywhere parallelism.
+
+All three produce byte-identical ``report.md`` for the same batch
+against the same store state; backends only decide *where* jobs run,
+never what gets recorded.
 
 Quickstart::
 
@@ -28,9 +58,20 @@ Quickstart::
     rerun = run_jobs(registry.values(), store=store)
     assert rerun.cache_hits == len(registry)   # second pass is free
 
-The CLI front end is ``repro lab run|status|summarize|index``.
+The CLI front end is
+``repro lab run|sweep|worker|merge|status|summarize|index|diff``.
 """
 
+from repro.lab.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    JobFailure,
+    ProcessPoolBackend,
+    SerialBackend,
+    UnknownBackendError,
+    default_worker_count,
+    resolve_backend,
+)
 from repro.lab.diffing import (
     JobDiff,
     RunDiff,
@@ -41,7 +82,6 @@ from repro.lab.diffing import (
 from repro.lab.executor import (
     ExecutionReport,
     JobOutcome,
-    default_worker_count,
     run_jobs,
 )
 from repro.lab.hashing import (
@@ -68,25 +108,46 @@ from repro.lab.manifest import (
     cached_records,
     render_experiments_markdown,
     render_lab_report,
+    status_payload,
     summarize_cached,
     write_run_artifacts,
 )
-from repro.lab.store import ArtifactStore, default_lab_root
+from repro.lab.spool import (
+    SpoolBackend,
+    SpoolError,
+    SpoolRun,
+    WorkerStats,
+    job_from_json,
+    job_to_json,
+    serve,
+)
+from repro.lab.store import ArtifactStore, StoreMergeError, default_lab_root
 
 __all__ = [
     "ABLATION_KIND",
     "ArtifactCodingError",
     "ArtifactStore",
+    "BACKEND_NAMES",
     "EXPERIMENT_KIND",
     "ExecutionReport",
+    "ExecutorBackend",
     "JobDiff",
+    "JobFailure",
     "JobOutcome",
     "JobSpec",
+    "ProcessPoolBackend",
     "RunDiff",
     "SCENARIO_KIND",
     "SWEEP_KIND",
+    "SerialBackend",
+    "SpoolBackend",
+    "SpoolError",
+    "SpoolRun",
+    "StoreMergeError",
+    "UnknownBackendError",
     "UnknownJobError",
     "UnknownRunError",
+    "WorkerStats",
     "build_registry",
     "cached_records",
     "canonical_json",
@@ -98,12 +159,17 @@ __all__ = [
     "encode_rows",
     "execute_job",
     "experiment_spec",
+    "job_from_json",
+    "job_to_json",
     "render_diff",
     "render_experiments_markdown",
     "render_lab_report",
     "resolve",
+    "resolve_backend",
     "run_jobs",
     "scenario_job",
+    "serve",
+    "status_payload",
     "summarize_cached",
     "write_run_artifacts",
 ]

@@ -1,17 +1,18 @@
-"""Parallel job execution with cache-aware scheduling.
+"""Cache-aware batch execution over pluggable backends.
 
-The executor takes a batch of :class:`~repro.lab.jobs.JobSpec`, checks
-the artifact store for each config hash, fans the misses out over a
-``ProcessPoolExecutor`` and persists every fresh payload as it lands.
-Results are reported in job-id order regardless of completion order,
-so a parallel run and a serial run of the same batch are
-indistinguishable to everything downstream (reports diff cleanly).
+``run_jobs`` takes a batch of :class:`~repro.lab.jobs.JobSpec`, checks
+the artifact store for each config hash, hands the misses to an
+:class:`~repro.lab.backends.ExecutorBackend` (in-process serial,
+process pool, or the filesystem-spool sharding protocol) and persists
+every fresh payload as it lands.  Results are reported in job-id order
+regardless of completion order, so the same batch produces the same
+:class:`ExecutionReport` — and byte-identical rendered reports — no
+matter which backend executed it.
 
-Workers receive only the job id — they rebuild the (deterministic)
-registry themselves and return a JSON-safe payload — so nothing
-unpicklable ever crosses the process boundary, and an interrupted run
-leaves behind exactly the artifacts of the jobs that finished, which
-the next run picks up as cache hits.
+Only specs and JSON-safe payloads cross the executor/backend boundary,
+so nothing unpicklable ever crosses a process (or host) boundary, and
+an interrupted run leaves behind exactly the artifacts of the jobs
+that finished, which the next run picks up as cache hits.
 """
 
 from __future__ import annotations
@@ -19,22 +20,35 @@ from __future__ import annotations
 import os
 import time
 import uuid
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import repro
-from repro.lab.jobs import JobSpec, execute_job
+from repro.lab.backends import (
+    ExecutorBackend,
+    JobFailure,
+    default_worker_count,
+    resolve_backend,
+)
+from repro.lab.jobs import JobSpec
 from repro.lab.store import ArtifactStore
 
-
-def default_worker_count() -> int:
-    """One worker per CPU, as ``repro lab run --jobs`` defaults to."""
-    return os.cpu_count() or 1
+__all__ = [
+    "ExecutionReport",
+    "JobOutcome",
+    "default_worker_count",
+    "run_jobs",
+]
 
 
 def _new_run_id() -> str:
-    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()) + "-" + uuid.uuid4().hex[:8]
+    """Timestamp + PID + random suffix: collision-free even when several
+    coordinators (e.g. spool workers' own labs) start in the same second."""
+    return (
+        time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        + f"-p{os.getpid()}-"
+        + uuid.uuid4().hex[:8]
+    )
 
 
 @dataclass(frozen=True)
@@ -86,17 +100,17 @@ def run_jobs(
     workers: int | None = None,
     force: bool = False,
     progress: Callable[[str], None] | None = None,
+    backend: str | ExecutorBackend | None = None,
 ) -> ExecutionReport:
     """Execute a batch, reusing cached artifacts unless ``force``.
 
-    ``workers=None`` means one per CPU; ``workers=1`` runs in-process
-    (no pool), which is also the fallback for a single pending job.
+    ``backend`` picks the execution strategy: ``"serial"``, ``"pool"``
+    (the default), ``"spool"``, or any :class:`ExecutorBackend`
+    instance.  ``workers`` configures the pool backend (``None`` means
+    one per CPU) and is ignored by backends that don't pool.
     ``progress`` receives one human-readable line per completed job.
     """
-    if workers is None:
-        workers = default_worker_count()
-    elif workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    executor = resolve_backend(backend, store=store, workers=workers)
     ordered = sorted(specs, key=lambda spec: spec.job_id)
     version = repro.__version__
     run_id = _new_run_id()
@@ -128,7 +142,7 @@ def run_jobs(
         outcomes[spec.job_id] = JobOutcome(spec, record, cached=False)
         emit(outcomes[spec.job_id])
 
-    def crash(spec: JobSpec, error: Exception) -> None:
+    def crash(spec: JobSpec, message: str) -> None:
         # A raising job becomes a failed outcome that is deliberately NOT
         # cached: caching it would pin the failure across re-runs.
         record = {
@@ -141,7 +155,7 @@ def run_jobs(
                 {
                     "claim": "job executed without raising",
                     "expected": "no exception",
-                    "measured": f"{type(error).__name__}: {error}",
+                    "measured": message,
                     "passed": False,
                 }
             ],
@@ -155,34 +169,15 @@ def run_jobs(
         outcomes[spec.job_id] = JobOutcome(spec, record, cached=False)
         emit(outcomes[spec.job_id])
 
-    # Job-execution errors become failed outcomes; store/save errors are
-    # infrastructure problems and propagate (the `else` keeps them out of
-    # the job's except clause so they are never misattributed to the job).
-    if len(pending) <= 1 or workers == 1:
-        for spec in pending:
-            try:
-                payload = execute_job(spec)
-            except Exception as error:
-                crash(spec, error)
+    # Job-execution errors arrive as JobFailure completions and become
+    # failed outcomes; store/save errors are infrastructure problems and
+    # propagate, never misattributed to the job.
+    if pending:
+        for spec, result in executor.run(pending, run_id=run_id):
+            if isinstance(result, JobFailure):
+                crash(spec, result.message)
             else:
-                complete(spec, payload)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(execute_job, spec): spec for spec in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    try:
-                        payload = future.result()
-                    except Exception as error:
-                        crash(futures[future], error)
-                    else:
-                        complete(futures[future], payload)
+                complete(spec, result)
 
     report = ExecutionReport(
         run_id=run_id,

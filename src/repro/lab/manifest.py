@@ -75,16 +75,22 @@ def render_experiments_markdown(records: list[dict]) -> str:
 
 
 def render_lab_report(outcomes: list[JobOutcome], run_id: str) -> str:
-    """The per-run report.md: summary table plus every job's section."""
+    """The per-run report.md: summary table plus every job's section.
+
+    Deliberately free of wall-clock timings: for one batch against one
+    store state, serial, pool and spool backends all render the exact
+    same bytes, so reports diff cleanly across backends and hosts.
+    (Per-job timings live in manifest.json, which may vary.)
+    """
     sections = [f"# repro lab report — run `{run_id}`\n"]
-    sections.append("| job | kind | status | elapsed (s) | source |")
-    sections.append("|---|---|---|---|---|")
+    sections.append("| job | kind | status | source |")
+    sections.append("|---|---|---|---|")
     for outcome in outcomes:
         status = "pass" if outcome.all_passed else "**FAIL**"
         source = "cache" if outcome.cached else "executed"
         sections.append(
             f"| {outcome.spec.job_id} | {outcome.spec.kind} | {status} "
-            f"| {outcome.elapsed_seconds:.2f} | {source} |"
+            f"| {source} |"
         )
     sections.append("")
     for outcome in outcomes:
@@ -162,6 +168,41 @@ def cached_records(
         else:
             cached.append((spec, record))
     return cached, missing
+
+
+def status_payload(
+    store: ArtifactStore, registry: dict[str, JobSpec]
+) -> dict:
+    """`repro lab status` as one JSON-safe dict (the --json output).
+
+    The same payload backs the human-readable table, so the two views
+    can never disagree — which is the point: spool and merge debugging
+    scripts consume this instead of opening index.sqlite by hand.
+    """
+    cached, missing = cached_records(store, registry)
+    by_id = {spec.job_id: record for spec, record in cached}
+    jobs = []
+    for job_id in sorted(registry):
+        record = by_id.get(job_id)
+        entry: dict = {"job_id": job_id, "kind": registry[job_id].kind}
+        if record is None:
+            entry["cached"] = False
+        else:
+            entry.update(
+                cached=True,
+                all_passed=bool(record["all_passed"]),
+                elapsed_seconds=float(record["elapsed_seconds"]),
+                config_hash=record["config_hash"],
+            )
+        jobs.append(entry)
+    return {
+        "root": str(store.root),
+        "registered": len(registry),
+        "cached": len(cached),
+        "missing": missing,
+        "jobs": jobs,
+        "runs": store.runs(limit=5),
+    }
 
 
 def summarize_cached(

@@ -21,17 +21,24 @@ payloads back over the process pool, keeping SQLite single-writer.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import sqlite3
 import time
 from contextlib import closing
 from pathlib import Path
 
 import repro
-from repro.lab.hashing import canonical_json
+from repro.errors import ReproError
+from repro.lab.hashing import canonical_json, config_hash
 from repro.lab.jobs import JobSpec
 
 RESULT_FILENAME = "result.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+class StoreMergeError(ReproError):
+    """A lab-root merge that cannot proceed (missing or self-referential)."""
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -61,6 +68,19 @@ CREATE INDEX IF NOT EXISTS idx_results_job ON results (job_id);
 
 def _utc_now() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write-temp-then-``os.replace`` so readers never see a partial file.
+
+    The single definition of the crash-safe write idiom used for
+    artifacts, spool files and merges.  The dotted ``.{name}.{pid}.tmp``
+    spelling keeps in-flight temp files invisible to every ``*.json`` /
+    ``*/result.json`` glob in the lab (and PID-unique across writers).
+    """
+    temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    temp.write_text(text)
+    os.replace(temp, path)
 
 
 def default_lab_root() -> str:
@@ -118,20 +138,31 @@ class ArtifactStore:
         run_id: str,
         package_version: str | None = None,
     ) -> dict:
-        """Persist one job payload; returns the full stored record."""
+        """Persist one job payload; returns the full stored record.
+
+        The write is temp-file + ``os.replace``, so a crash mid-save
+        (worker killed, disk full, power loss) can never leave a
+        truncated ``result.json`` behind — readers see the old artifact
+        or the new one, never garbage.  The record embeds the full
+        ``config`` dict its address was hashed from, which is what lets
+        ``repro lab index --verify`` recompute hashes and report drift
+        without the original :class:`JobSpec`.
+        """
         version = package_version or repro.__version__
-        config_hash = spec.config_hash(version)
+        config = spec.config(version)
+        address = config_hash(config)
         record = dict(payload)
         record.update(
             schema=SCHEMA_VERSION,
-            config_hash=config_hash,
+            config=config,
+            config_hash=address,
             package_version=version,
             created_at=_utc_now(),
             run_id=run_id,
         )
-        path = self.artifact_path(config_hash)
+        path = self.artifact_path(address)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(canonical_json(record))
+        atomic_write_text(path, canonical_json(record))
         self._index_record(record)
         return record
 
@@ -281,3 +312,109 @@ class ArtifactStore:
                     elapsed_seconds=manifest.get("elapsed_seconds", 0.0),
                 )
         return len(records)
+
+    # -- merge + verify --------------------------------------------------
+
+    def merge(self, other: "ArtifactStore") -> dict:
+        """Fold another lab root's artifacts and run history into this one.
+
+        Content addressing makes this conflict-free: an artifact either
+        exists here already (same hash, same bytes — skipped) or it
+        doesn't (copied byte-for-byte, atomically).  A *corrupt* local
+        artifact is replaced by the other store's good copy.  Run
+        directories are copied whole when absent.  The SQLite index is
+        a derived view, so it is simply rebuilt afterwards — which
+        makes the whole operation idempotent and order-independent.
+
+        Returns counts: ``artifacts_imported``, ``artifacts_skipped``,
+        ``corrupt_skipped`` (unreadable source artifacts), and
+        ``runs_imported``.
+        """
+        if not other.root.is_dir():
+            raise StoreMergeError(
+                f"no lab root at {other.root} — nothing to merge"
+            )
+        if os.path.realpath(other.root) == os.path.realpath(self.root):
+            raise StoreMergeError(
+                f"cannot merge a lab root into itself ({self.root})"
+            )
+        imported = skipped = corrupt = runs_imported = 0
+        if other.artifacts_dir.is_dir():
+            for path in sorted(other.artifacts_dir.glob(f"*/{RESULT_FILENAME}")):
+                address = path.parent.name
+                if other.load(address) is None:
+                    corrupt += 1
+                    continue
+                if self.load(address) is not None:
+                    skipped += 1
+                    continue
+                target = self.artifact_path(address)
+                target.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write_text(target, path.read_text())
+                imported += 1
+        if other.runs_dir.is_dir():
+            for run_dir in sorted(other.runs_dir.iterdir()):
+                if not run_dir.is_dir():
+                    continue
+                target = self.runs_dir / run_dir.name
+                if target.exists():
+                    continue
+                self.runs_dir.mkdir(parents=True, exist_ok=True)
+                shutil.copytree(run_dir, target)
+                runs_imported += 1
+        self.rebuild_index()
+        return {
+            "artifacts_imported": imported,
+            "artifacts_skipped": skipped,
+            "corrupt_skipped": corrupt,
+            "runs_imported": runs_imported,
+        }
+
+    def verify(self) -> dict:
+        """Recompute every stored artifact's config hash; report drift.
+
+        Each artifact directory is named by the hash of the ``config``
+        recorded inside it, so integrity is checkable without the
+        original specs.  Buckets (lists of artifact addresses):
+
+        * ``ok`` — hash recomputes, fingerprint matches current source;
+        * ``stale`` — intact, but produced by a different source tree
+          (dead cache entries after an edit; harmless);
+        * ``mismatched`` — recorded config does not hash to the
+          directory name (tampering or a mis-filed merge);
+        * ``corrupt`` — unparseable JSON;
+        * ``unverifiable`` — pre-schema-2 records with no ``config``.
+        """
+        from repro.lab.jobs import source_fingerprint
+
+        report: dict = {
+            "checked": 0,
+            "ok": [],
+            "stale": [],
+            "mismatched": [],
+            "corrupt": [],
+            "unverifiable": [],
+        }
+        current = source_fingerprint()
+        if not self.artifacts_dir.is_dir():
+            return report
+        for path in sorted(self.artifacts_dir.glob(f"*/{RESULT_FILENAME}")):
+            address = path.parent.name
+            report["checked"] += 1
+            try:
+                record = json.loads(path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                report["corrupt"].append(address)
+                continue
+            config = record.get("config") if isinstance(record, dict) else None
+            if not isinstance(config, dict):
+                report["unverifiable"].append(address)
+                continue
+            if config_hash(config) != address or record.get("config_hash") != address:
+                report["mismatched"].append(address)
+                continue
+            if config.get("source_fingerprint") != current:
+                report["stale"].append(address)
+            else:
+                report["ok"].append(address)
+        return report

@@ -156,3 +156,186 @@ class TestLabStatusSummarizeIndex:
         capsys.readouterr()
         assert main(["lab", "index", "--root", root]) == 0
         assert "indexed 2 artifacts" in capsys.readouterr().out
+
+
+class TestLabStatusJson:
+    def test_status_json_round_trips(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path / "lab")
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        assert main(["lab", "status", "--json", "--root", root]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cached"] == 1
+        assert payload["root"] == root
+        cached_jobs = [job for job in payload["jobs"] if job["cached"]]
+        assert [job["job_id"] for job in cached_jobs] == ["E01"]
+        assert cached_jobs[0]["all_passed"] is True
+        assert "E02" in payload["missing"]
+        assert len(payload["runs"]) == 1
+
+    def test_status_json_on_empty_store(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path / "lab")
+        assert main(["lab", "status", "--json", "--root", root]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cached"] == 0
+        assert payload["runs"] == []
+
+
+class TestLabIndexVerify:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        assert main(["lab", "index", "--verify", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "1 ok" in out and "0 corrupt" in out
+
+    def test_corrupt_artifact_exits_one(self, tmp_path, capsys):
+        from repro.lab import ArtifactStore
+
+        root = str(tmp_path / "lab")
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        store = ArtifactStore(root)
+        victim = next(store.artifacts_dir.glob("*/result.json"))
+        victim.write_text("GARBAGE{")
+        assert main(["lab", "index", "--verify", "--root", root]) == 1
+        assert "[corrupt]" in capsys.readouterr().out
+
+
+class TestLabRunBackends:
+    def test_run_backend_serial(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        code = main(
+            ["lab", "run", "--ids", "E01,S-t", "--backend", "serial",
+             "--root", root]
+        )
+        assert code == 0
+        assert "2 executed" in capsys.readouterr().out
+
+    def test_run_backend_spool_with_worker(self, tmp_path, capsys):
+        """Full CLI spool round trip: coordinator + one worker thread."""
+        import threading
+
+        from repro.lab import serve
+
+        root = tmp_path / "lab"
+        worker = threading.Thread(
+            target=serve,
+            args=(root / "spool",),
+            kwargs={"poll": 0.01, "max_idle": 60, "heartbeat": 0.1},
+        )
+        worker.start()
+        try:
+            code = main(
+                ["lab", "run", "--ids", "E01,S-t", "--backend", "spool",
+                 "--spool-timeout", "120", "--root", str(root)]
+            )
+        finally:
+            (root / "spool").mkdir(parents=True, exist_ok=True)
+            (root / "spool" / "STOP").touch()
+            worker.join(timeout=120)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spooled 2 job(s)" in out
+        assert "2 executed" in out
+
+    def test_run_backend_spool_timeout_exits_two(self, tmp_path, capsys):
+        """No workers + a timeout = a clear error, not a hang."""
+        root = str(tmp_path / "lab")
+        code = main(
+            ["lab", "run", "--ids", "E01", "--backend", "spool",
+             "--spool-timeout", "0.2", "--root", root]
+        )
+        assert code == 2
+        assert "timed out" in capsys.readouterr().err
+
+    def test_run_backend_spool_participate_needs_no_workers(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "lab")
+        code = main(
+            ["lab", "run", "--ids", "E01,S-t", "--backend", "spool",
+             "--participate", "--spool-timeout", "120", "--root", root]
+        )
+        assert code == 0
+        assert "2 executed" in capsys.readouterr().out
+
+
+class TestLabWorkerCli:
+    def test_once_on_missing_dir_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["lab", "worker", str(tmp_path / "nowhere"), "--once"]
+        )
+        assert code == 2
+        assert "no such spool directory" in capsys.readouterr().err
+
+    def test_once_drains_a_prepared_spool(self, tmp_path, capsys):
+        from repro.lab import SpoolRun, build_registry
+
+        spool = SpoolRun(tmp_path / "spool" / "run-1")
+        spool.create()
+        spool.publish([build_registry()["E01"]])
+        code = main(["lab", "worker", str(tmp_path / "spool"), "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker: executed E01" in out
+        assert "1 job(s) executed" in out
+
+    def test_once_on_empty_spool_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "spool").mkdir()
+        assert main(["lab", "worker", str(tmp_path / "spool"), "--once"]) == 0
+        assert "0 job(s) executed" in capsys.readouterr().out
+
+
+class TestLabMergeCli:
+    def test_merge_missing_root_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["lab", "merge", str(tmp_path / "nowhere"),
+             "--root", str(tmp_path / "lab")]
+        )
+        assert code == 2
+        assert "no lab root" in capsys.readouterr().err
+
+    def test_merge_into_itself_exits_two(self, tmp_path, capsys):
+        root = str(tmp_path / "lab")
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", root])
+        capsys.readouterr()
+        assert main(["lab", "merge", root, "--root", root]) == 2
+        assert "into itself" in capsys.readouterr().err
+
+    def test_merge_then_status_sees_the_artifacts(self, tmp_path, capsys):
+        primary = str(tmp_path / "primary")
+        detached = str(tmp_path / "detached")
+        main(["lab", "run", "--ids", "E01", "--jobs", "1", "--root", detached])
+        capsys.readouterr()
+        assert main(["lab", "merge", detached, "--root", primary]) == 0
+        out = capsys.readouterr().out
+        assert "1 artifact(s) imported" in out
+        assert main(["lab", "status", "--root", primary]) == 0
+        assert "cached:   1/" in capsys.readouterr().out
+
+    def test_diff_across_merged_runs(self, tmp_path, capsys):
+        """The spool workflow end-to-end: two roots, merge, lab diff."""
+        import re
+
+        root_a = str(tmp_path / "a")
+        root_b = str(tmp_path / "b")
+        merged = str(tmp_path / "merged")
+        run_ids = []
+        for root in (root_a, root_b):
+            main(["lab", "run", "--ids", "E01,S-t", "--backend", "serial",
+                  "--force", "--root", root])
+            match = re.search(r"^run (\S+):", capsys.readouterr().out, re.M)
+            assert match is not None
+            run_ids.append(match.group(1))
+        assert main(["lab", "merge", root_a, "--root", merged]) == 0
+        assert main(["lab", "merge", root_b, "--root", merged]) == 0
+        capsys.readouterr()
+        assert main(["lab", "diff", run_ids[0], run_ids[1],
+                     "--root", merged]) == 0
+        assert "runs are identical" in capsys.readouterr().out

@@ -127,3 +127,62 @@ class TestRaisingJobs:
 class TestDefaults:
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+
+class TestRunIds:
+    def test_run_id_embeds_pid(self, tmp_path):
+        """Concurrent coordinators can't collide: the PID is in the id."""
+        import os
+
+        store = ArtifactStore(tmp_path / "lab")
+        report = run_jobs(fast_specs()[:1], store=store, workers=1)
+        assert f"-p{os.getpid()}-" in report.run_id
+
+    def test_run_ids_unique_within_process(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        ids = {
+            run_jobs(fast_specs()[:1], store=store, workers=1).run_id
+            for _ in range(3)
+        }
+        assert len(ids) == 3
+
+
+class TestBackendParameter:
+    def test_serial_backend_by_name(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        report = run_jobs(fast_specs(), store=store, backend="serial")
+        assert report.all_passed
+        assert report.executed == len(FAST_JOBS)
+
+    def test_backend_instance(self, tmp_path):
+        from repro.lab.backends import SerialBackend
+
+        store = ArtifactStore(tmp_path / "lab")
+        report = run_jobs(fast_specs()[:2], store=store, backend=SerialBackend())
+        assert report.all_passed
+
+    def test_unknown_backend_name_raises(self, tmp_path):
+        import pytest
+
+        from repro.lab.backends import UnknownBackendError
+
+        store = ArtifactStore(tmp_path / "lab")
+        with pytest.raises(UnknownBackendError):
+            run_jobs(fast_specs()[:1], store=store, backend="quantum")
+
+    def test_fully_cached_batch_never_touches_the_backend(self, tmp_path):
+        """A 100%-hit batch must not spin up (or hang on) any backend."""
+
+        class ExplodingBackend:
+            name = "exploding"
+
+            def run(self, pending, *, run_id):
+                raise AssertionError("backend invoked for a cached batch")
+                yield  # pragma: no cover - makes this a generator
+
+        store = ArtifactStore(tmp_path / "lab")
+        run_jobs(fast_specs()[:2], store=store, workers=1)
+        report = run_jobs(
+            fast_specs()[:2], store=store, backend=ExplodingBackend()
+        )
+        assert report.cache_hits == 2
