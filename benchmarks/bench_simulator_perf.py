@@ -3,13 +3,16 @@
 Not a paper artifact — these measure the simulator, planner and hardware
 engine throughput so performance regressions in the substrate are caught
 by ``pytest benchmarks/ --benchmark-only`` alongside the reproduction
-benches.
+benches.  The CI perf-smoke job runs this file on a fixed design point
+and uploads the ``--benchmark-json`` timings as a ``BENCH_*.json``
+artifact, so the kernel's throughput trajectory is recorded per commit.
 """
 
 from repro.core.planner import AccessPlanner
 from repro.core.vector import VectorAccess
 from repro.hardware.oos_engine import Figure6Engine
 from repro.memory.config import MemoryConfig
+from repro.memory.kernel import MemoryKernel
 from repro.memory.system import MemorySystem
 from repro.processor.decoupled import DecoupledVectorMachine
 from repro.processor.stripmine import daxpy_program
@@ -18,6 +21,8 @@ CONFIG = MemoryConfig.matched(t=3, s=4)
 PLANNER = AccessPlanner(CONFIG.mapping, 3)
 SYSTEM = MemorySystem(CONFIG)
 VECTOR = VectorAccess(16, 12, 128)
+UNMATCHED = MemoryConfig.unmatched(t=3, s=4, y=9, input_capacity=2)
+UNMATCHED_PLANNER = AccessPlanner(UNMATCHED.mapping, 3)
 
 
 def test_plan_conflict_free(benchmark):
@@ -56,3 +61,48 @@ def test_full_machine_daxpy(benchmark):
 
     result = benchmark(run_machine)
     assert result.total_cycles > 0
+
+
+def test_kernel_two_streams_one_bus(benchmark):
+    """The unified kernel on the classic shared-bus interference case."""
+    config = MemoryConfig.matched(t=3, s=4, input_capacity=2)
+    planner = AccessPlanner(config.mapping, 3)
+    streams = [
+        planner.plan(VectorAccess(0, 12, 128)).request_stream(),
+        planner.plan(VectorAccess(1, 12, 128)).request_stream(),
+    ]
+    kernel = MemoryKernel(config)
+
+    run = benchmark(kernel.run, streams)
+    assert run.aggregate_elements == 256
+
+
+def test_kernel_two_ports(benchmark):
+    """Two section-disjoint streams over two address/result ports."""
+    streams = [
+        UNMATCHED_PLANNER.plan(VectorAccess(0, 16, 64)).request_stream(),
+        UNMATCHED_PLANNER.plan(
+            VectorAccess(1 << 9, 16, 64)
+        ).request_stream(),
+    ]
+    kernel = MemoryKernel(UNMATCHED, ports=2)
+
+    run = benchmark(kernel.run, streams)
+    assert run.total_cycles <= 64 + 8 + 1 + 8
+
+
+def test_full_machine_daxpy_two_ports(benchmark):
+    """The program path with concurrent in-flight memory instructions."""
+    config = MemoryConfig.unmatched(
+        t=3, s=4, y=9, input_capacity=2, ports=2
+    )
+    program = daxpy_program(256, 128, 2.0, 0, 3, 10**6, 1)
+
+    def run_machine():
+        machine = DecoupledVectorMachine(config, register_length=128)
+        machine.store.write_vector(0, 3, [1.0] * 256)
+        machine.store.write_vector(10**6, 1, [2.0] * 256)
+        return machine.run(program)
+
+    result = benchmark(run_machine)
+    assert result.stream_concurrency_peak == 2

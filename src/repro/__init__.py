@@ -39,8 +39,9 @@ Module map
   decompositions, orderings, the access planner, conflict-free windows;
 * :mod:`repro.mappings` — every address-mapping scheme (interleaved,
   skewed, Eq. (1)/(2) XOR, GF(2) matrix, pseudo-random, dynamic);
-* :mod:`repro.memory` — the cycle-accurate Figure 2 multi-module
-  memory simulator and its configuration;
+* :mod:`repro.memory` — the unified cycle-accurate memory kernel
+  (M modules x k ports x n streams) and its single-stream /
+  multi-stream / multi-port views plus configuration;
 * :mod:`repro.hardware` — register-level models of the Figures 4-6
   address-generation hardware;
 * :mod:`repro.processor` — the decoupled access/execute vector machine
@@ -117,7 +118,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AccessPlan",

@@ -1,8 +1,40 @@
-"""Cycle-accurate multi-module memory subsystem (the Figure 2 machine)."""
+"""Cycle-accurate multi-module memory subsystem (the Figure 2 machine).
+
+Module map
+----------
+
+* :mod:`repro.memory.kernel` — **the one memory kernel**:
+  :class:`MemoryKernel` simulates M modules × ``k`` address/result
+  ports × ``n`` named request streams in a single flat, event-skipping
+  cycle loop.  Every other simulator here is a view over it.
+* :mod:`repro.memory.system` — :class:`MemorySystem`, the classic
+  single-stream view (``k = 1, n = 1``) returning
+  :class:`AccessResult`.
+* :mod:`repro.memory.multistream` — :class:`MultiStreamMemorySystem`,
+  several streams sharing one address bus (``k = 1, n >= 1``).
+* :mod:`repro.memory.multiport` — :class:`MultiPortMemorySystem`, the
+  widened machine (``k >= 1`` buses).
+* :mod:`repro.memory.config` — :class:`MemoryConfig`: mapping, ``T``,
+  buffer depths ``q``/``q'`` and the port count.
+* :mod:`repro.memory.module` — the single-module state machine
+  (documentation/reference model; the kernel keeps the same state in
+  flat arrays) and the :class:`InFlightRequest` timing record.
+* :mod:`repro.memory.arbiter` — result-bus arbitration policies.
+* :mod:`repro.memory.storage` — the word-addressable backing store.
+* :mod:`repro.memory.metrics`, :mod:`repro.memory.trace`,
+  :mod:`repro.memory.events` — derived metrics, Gantt rendering and
+  event logs.
+"""
 
 from repro.memory.arbiter import FifoArbiter, ResultArbiter, RoundRobinArbiter
 from repro.memory.config import MemoryConfig
 from repro.memory.events import Event, EventKind, EventLog
+from repro.memory.kernel import (
+    KernelRun,
+    KernelStream,
+    MemoryKernel,
+    StreamRun,
+)
 from repro.memory.metrics import (
     PopulationSummary,
     access_efficiency,
@@ -29,7 +61,10 @@ __all__ = [
     "EventLog",
     "FifoArbiter",
     "InFlightRequest",
+    "KernelRun",
+    "KernelStream",
     "MemoryConfig",
+    "MemoryKernel",
     "MemoryModule",
     "MemoryStore",
     "MemorySystem",
@@ -37,6 +72,7 @@ __all__ = [
     "MultiStreamMemorySystem",
     "MultiStreamResult",
     "StreamResult",
+    "StreamRun",
     "PopulationSummary",
     "PortAssignment",
     "ResultArbiter",

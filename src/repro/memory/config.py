@@ -38,12 +38,17 @@ class MemoryConfig:
         ``q'`` — completed results a module can hold while waiting for
         the single result bus.  Section 3.1's bounded-latency claim uses
         ``q = 2, q' = 1``.
+    ports:
+        ``k`` — address/result bus pairs (the Section 6 "several memory
+        ports" outlook).  Each port carries one request and one result
+        per cycle; the classic Figure 2 machine is ``ports = 1``.
     """
 
     mapping: AddressMapping
     t: int
     input_capacity: int = 1
     output_capacity: int = 1
+    ports: int = 1
 
     def __post_init__(self) -> None:
         if self.t < 0:
@@ -61,6 +66,21 @@ class MemoryConfig:
         if self.output_capacity < 1:
             raise ConfigurationError(
                 f"output_capacity must be >= 1, got {self.output_capacity}"
+            )
+        if not isinstance(self.ports, int) or isinstance(self.ports, bool):
+            raise ConfigurationError(
+                f"memory config field 'ports' must be an integer, got "
+                f"{self.ports!r}"
+            )
+        if self.ports < 1:
+            raise ConfigurationError(
+                f"memory config field 'ports' must be >= 1, got {self.ports}"
+            )
+        if self.ports > self.mapping.module_count:
+            raise ConfigurationError(
+                f"memory config field 'ports' ({self.ports}) cannot exceed "
+                f"the module count M={self.mapping.module_count}: each port "
+                "needs at least one module to talk to"
             )
 
     @property
@@ -86,6 +106,7 @@ class MemoryConfig:
         input_capacity: int = 1,
         output_capacity: int = 1,
         address_bits: int = 32,
+        ports: int = 1,
     ) -> "MemoryConfig":
         """Matched memory with the Eq. (1) XOR mapping."""
         return cls(
@@ -93,6 +114,7 @@ class MemoryConfig:
             t,
             input_capacity,
             output_capacity,
+            ports,
         )
 
     @classmethod
@@ -104,6 +126,7 @@ class MemoryConfig:
         input_capacity: int = 1,
         output_capacity: int = 1,
         address_bits: int = 32,
+        ports: int = 1,
     ) -> "MemoryConfig":
         """Unmatched memory (``M = T**2``) with the Eq. (2) mapping."""
         return cls(
@@ -111,11 +134,13 @@ class MemoryConfig:
             t,
             input_capacity,
             output_capacity,
+            ports,
         )
 
     def describe(self) -> str:
+        ports = f", ports={self.ports}" if self.ports != 1 else ""
         return (
             f"MemoryConfig(M={self.module_count}, T={self.service_ratio}, "
-            f"q={self.input_capacity}, q'={self.output_capacity}, "
-            f"mapping={self.mapping.describe()})"
+            f"q={self.input_capacity}, q'={self.output_capacity}"
+            f"{ports}, mapping={self.mapping.describe()})"
         )

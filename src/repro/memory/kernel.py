@@ -1,0 +1,560 @@
+"""The one memory kernel: M modules × k ports × n streams, cycle-level.
+
+Every cycle-accurate memory simulation in the library runs through
+:class:`MemoryKernel`.  It generalises the Figure 2 machine along the
+two axes the paper's Section 6 defers to future work:
+
+* ``ports`` — ``k >= 1`` address/result bus pairs.  Each port carries at
+  most one request and one result per cycle, so ``k`` requests can enter
+  and ``k`` results can return per cycle (module bandwidth permitting);
+* ``streams`` — ``n >= 1`` named request sequences, each bound to one
+  port.  Streams sharing a port take turns under an issue policy
+  (``round_robin`` or ``priority``); streams on different ports issue
+  concurrently.
+
+The historical simulators are thin views over this kernel:
+:class:`~repro.memory.system.MemorySystem` is ``k = 1, n = 1``,
+:class:`~repro.memory.multistream.MultiStreamMemorySystem` is ``k = 1,
+n >= 1`` and :class:`~repro.memory.multiport.MultiPortMemorySystem` is
+``k >= 1, n >= 1`` — all with bit-identical metrics to the per-cycle
+loops they replaced (the equivalence suite in ``tests/memory/
+test_kernel.py`` drives both against a reference implementation).
+
+Timing contract (unchanged from the package docstring, per port):
+
+* one request per port per cycle; a stream whose head request targets a
+  module with a full input queue stalls (and, under ``round_robin``,
+  yields the port to the next stream);
+* address bus delay 1 cycle: a request issued at ``c`` arrives at
+  ``c + 1``;
+* a module starts the head request when idle; service takes ``T``
+  cycles and needs the output queue to drain (``q'`` back-pressure);
+* one result per port per cycle, arbitrated oldest-first, delivered the
+  cycle it is granted; a result finishing service at the end of cycle
+  ``f`` is first deliverable at ``f + 1``.
+
+Hence ``ports = 1, streams = 1`` degenerates exactly to the paper's
+conflict-free minimum latency ``T + L + 1``.
+
+Performance: the kernel keeps per-module state in flat preallocated
+lists (no per-cycle attribute churn through module objects) and
+fast-forwards over idle cycles — when a cycle passes with no issue, no
+grant, no service start and no completion, the loop jumps straight to
+the next scheduled event (service completion, head-of-queue arrival, or
+result-ready edge), accounting the skipped stall and busy cycles
+arithmetically.  ``benchmarks/bench_simulator_perf.py`` tracks the
+resulting throughput.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.arbiter import ResultArbiter
+from repro.memory.config import MemoryConfig
+from repro.memory.module import InFlightRequest
+
+#: Issue policies for streams sharing one port.
+ISSUE_POLICIES = ("round_robin", "priority")
+
+
+@dataclass(frozen=True)
+class KernelStream:
+    """One named request stream bound to a port.
+
+    ``requests`` are ``(element_index, address)`` pairs in issue order
+    (addresses are reduced through the mapping by the kernel).
+    ``stores`` lists stream positions that are store operations.
+    ``port`` binds the stream to an address/result bus pair; ``None``
+    means automatic round-robin binding (stream ``i`` -> port
+    ``i % ports``).
+    """
+
+    name: str
+    requests: tuple[tuple[int, int], ...]
+    stores: frozenset[int] = frozenset()
+    port: int | None = None
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        requests: Sequence[tuple[int, int]],
+        stores: Sequence[int] = (),
+        port: int | None = None,
+    ) -> "KernelStream":
+        return cls(name, tuple(requests), frozenset(stores), port)
+
+
+@dataclass(frozen=True)
+class StreamRun:
+    """Per-stream outcome of one kernel run.
+
+    Cycle fields are kernel-relative (the run starts at cycle 1).
+    ``module_request_counts`` attributes each module's load to this
+    stream, so per-stream busy accounting (``service_ratio *
+    count``) stays exact even when streams share modules.
+    """
+
+    name: str
+    index: int
+    port: int
+    first_issue_cycle: int
+    last_delivery_cycle: int
+    issue_stall_cycles: int
+    requests: tuple[InFlightRequest, ...]
+    module_request_counts: tuple[int, ...]
+
+    @property
+    def element_count(self) -> int:
+        return len(self.requests)
+
+    @property
+    def latency(self) -> int:
+        """Cycles from this stream's first issue to its last delivery."""
+        return self.last_delivery_cycle - self.first_issue_cycle + 1
+
+    @property
+    def wait_count(self) -> int:
+        """Requests that queued behind a busy module."""
+        return sum(1 for request in self.requests if request.waited)
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.wait_count == 0 and self.issue_stall_cycles == 0
+
+    @property
+    def result_held(self) -> bool:
+        """Some result of *this stream* was delivered later than the
+        first cycle it was deliverable (``finish + 1``) — held back by
+        result-bus contention or ``q'`` back-pressure.  The per-stream
+        counterpart of :attr:`KernelRun.bus_held_result`."""
+        return any(
+            request.delivery_cycle > request.finish_cycle + 1
+            for request in self.requests
+        )
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Aggregate outcome of one kernel run."""
+
+    streams: tuple[StreamRun, ...]
+    total_cycles: int
+    ports: int
+    bus_busy_cycles: int
+    bus_held_result: bool
+    module_busy_cycles: tuple[int, ...]
+    port_issue_cycles: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def aggregate_elements(self) -> int:
+        return sum(stream.element_count for stream in self.streams)
+
+    @property
+    def bus_utilisation(self) -> float:
+        return self.bus_busy_cycles / (self.total_cycles * self.ports)
+
+
+class MemoryKernel:
+    """Cycle-level simulator of M modules fed by k ports and n streams.
+
+    Parameters
+    ----------
+    config:
+        Memory geometry (mapping, ``T``, buffer depths, default port
+        count).
+    ports:
+        Address/result bus pairs; defaults to ``config.ports``.
+    policy:
+        How streams sharing one port take turns: ``"round_robin"``
+        (rotate past the last issuer) or ``"priority"`` (lowest stream
+        index first, head-of-line blocking).
+    arbiter:
+        Optional custom :class:`~repro.memory.arbiter.ResultArbiter`.
+        ``None`` selects the built-in oldest-first (FIFO) grant, which
+        also enables the event-skip fast path.
+    """
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        *,
+        ports: int | None = None,
+        policy: str = "round_robin",
+        arbiter: ResultArbiter | None = None,
+    ):
+        resolved_ports = config.ports if ports is None else ports
+        if not isinstance(resolved_ports, int) or isinstance(
+            resolved_ports, bool
+        ):
+            raise ConfigurationError(
+                f"kernel field 'ports' must be an integer, got "
+                f"{resolved_ports!r}"
+            )
+        if resolved_ports < 1:
+            raise ConfigurationError(
+                f"kernel field 'ports' must be >= 1, got {resolved_ports}"
+            )
+        if resolved_ports > config.module_count:
+            raise ConfigurationError(
+                f"kernel field 'ports' ({resolved_ports}) cannot exceed the "
+                f"module count M={config.module_count}: each port needs at "
+                "least one module to talk to"
+            )
+        if policy not in ISSUE_POLICIES:
+            raise SimulationError(f"unknown issue policy {policy!r}")
+        self.config = config
+        self.ports = resolved_ports
+        self.policy = policy
+        self.arbiter = arbiter
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self, streams: Sequence[KernelStream | Sequence[tuple[int, int]]]
+    ) -> KernelRun:
+        """Simulate all streams to completion."""
+        kernel_streams = self._normalise(streams)
+        return self._simulate(kernel_streams)
+
+    # -- stream validation ---------------------------------------------
+
+    def _normalise(self, streams) -> list[KernelStream]:
+        if not streams:
+            raise SimulationError("need at least one non-empty stream")
+        normalised: list[KernelStream] = []
+        for index, stream in enumerate(streams):
+            if isinstance(stream, KernelStream):
+                normalised.append(stream)
+            else:
+                normalised.append(KernelStream.of(f"s{index}", stream))
+        seen: set[str] = set()
+        for stream in normalised:
+            if not stream.requests:
+                raise SimulationError("need at least one non-empty stream")
+            if stream.name in seen:
+                raise ConfigurationError(
+                    f"kernel field 'streams' has colliding stream names: "
+                    f"{stream.name!r} appears more than once (streams must "
+                    "be uniquely named)"
+                )
+            seen.add(stream.name)
+            if stream.port is not None and not (
+                0 <= stream.port < self.ports
+            ):
+                raise ConfigurationError(
+                    f"stream {stream.name!r} field 'port' must be in "
+                    f"[0, {self.ports}), got {stream.port}"
+                )
+        return normalised
+
+    # -- the cycle loop -------------------------------------------------
+
+    def _simulate(self, kernel_streams: list[KernelStream]) -> KernelRun:
+        config = self.config
+        mapping = config.mapping
+        service_time = config.service_ratio
+        module_count = config.module_count
+        input_capacity = config.input_capacity
+        output_capacity = config.output_capacity
+        ports = self.ports
+        round_robin = self.policy == "round_robin"
+        stream_count = len(kernel_streams)
+
+        # Flat request state, indexed by request id (rid).
+        elem: list[int] = []
+        addr: list[int] = []
+        mod: list[int] = []
+        store_flag: list[bool] = []
+        stream_of: list[int] = []
+        stream_rids: list[list[int]] = []
+        for s_index, stream in enumerate(kernel_streams):
+            rids: list[int] = []
+            for position, (element, address) in enumerate(stream.requests):
+                reduced = mapping.reduce(address)
+                rids.append(len(elem))
+                elem.append(element)
+                addr.append(reduced)
+                mod.append(mapping.module_of(reduced))
+                store_flag.append(position in stream.stores)
+                stream_of.append(s_index)
+            stream_rids.append(rids)
+        total = len(elem)
+        issue = [0] * total
+        arrival = [0] * total
+        start = [0] * total
+        delivery = [0] * total
+
+        # Flat per-module state.
+        in_q: list[deque[int]] = [deque() for _ in range(module_count)]
+        svc_rid = [-1] * module_count
+        svc_finish = [0] * module_count
+        blk_rid = [-1] * module_count
+        out_q: list[deque[tuple[int, int]]] = [
+            deque() for _ in range(module_count)
+        ]
+        active: set[int] = set()
+
+        # Per-stream and per-port bookkeeping.
+        port_of = [
+            stream.port if stream.port is not None else index % ports
+            for index, stream in enumerate(kernel_streams)
+        ]
+        port_members: list[list[int]] = [[] for _ in range(ports)]
+        for index, port in enumerate(port_of):
+            port_members[port].append(index)
+        stream_len = [len(rids) for rids in stream_rids]
+        cursors = [0] * stream_count
+        stalls = [0] * stream_count
+        first_issue = [0] * stream_count
+        last_delivery = [0] * stream_count
+        rotation = [0] * ports
+        port_issues = [0] * ports
+
+        delivered = 0
+        bus_busy = 0
+        bus_held = False
+        cycle = 0
+        guard = (total + 2) * (service_time + 2) + 64
+        # Custom arbiters may carry state across grants, so the
+        # event-skip fast-forward (which elides whole no-op cycles) is
+        # only safe with the built-in FIFO grant.
+        shims = (
+            [_ModuleShim(out_q, m) for m in range(module_count)]
+            if self.arbiter is not None
+            else None
+        )
+
+        while delivered < total:
+            cycle += 1
+            if cycle > guard:
+                raise SimulationError(
+                    f"simulation exceeded {guard} cycles for {total} "
+                    f"requests — livelock?"
+                )
+            progressed = False
+
+            # 1. Address ports: one request per port per cycle.
+            for port in range(ports):
+                members = port_members[port]
+                candidates = [
+                    s for s in members if cursors[s] < stream_len[s]
+                ]
+                if not candidates:
+                    continue
+                if round_robin and len(candidates) > 1:
+                    rot = rotation[port]
+                    candidates.sort(
+                        key=lambda s: (s - rot) % stream_count
+                    )
+                for s in candidates:
+                    rid = stream_rids[s][cursors[s]]
+                    m = mod[rid]
+                    if len(in_q[m]) < input_capacity:
+                        issue[rid] = cycle
+                        arrival[rid] = cycle + 1
+                        in_q[m].append(rid)
+                        active.add(m)
+                        if first_issue[s] == 0:
+                            first_issue[s] = cycle
+                        cursors[s] += 1
+                        rotation[port] = s + 1
+                        bus_busy += 1
+                        port_issues[port] += 1
+                        progressed = True
+                        break
+                    stalls[s] += 1
+                    if not round_robin:
+                        break
+
+            # 2. Result ports: up to ``ports`` deliveries per cycle,
+            # oldest result first (ready cycle, then module index).
+            ready_count = 0
+            for m in active:
+                queue = out_q[m]
+                if queue and queue[0][0] <= cycle:
+                    ready_count += 1
+            grants = 0
+            if shims is None:
+                while grants < ports and delivered < total:
+                    best_key: tuple[int, int] | None = None
+                    best_m = -1
+                    for m in active:
+                        queue = out_q[m]
+                        if queue:
+                            ready = queue[0][0]
+                            if ready <= cycle:
+                                key = (ready, m)
+                                if best_key is None or key < best_key:
+                                    best_key = key
+                                    best_m = m
+                    if best_m < 0:
+                        break
+                    rid = out_q[best_m].popleft()[1]
+                    delivery[rid] = cycle
+                    s = stream_of[rid]
+                    if cycle > last_delivery[s]:
+                        last_delivery[s] = cycle
+                    delivered += 1
+                    grants += 1
+                    progressed = True
+            else:
+                for _port in range(ports):
+                    granted = self.arbiter.grant(shims, cycle)
+                    if granted is None:
+                        break
+                    rid = out_q[granted].popleft()[1]
+                    delivery[rid] = cycle
+                    s = stream_of[rid]
+                    if cycle > last_delivery[s]:
+                        last_delivery[s] = cycle
+                    delivered += 1
+                    grants += 1
+                    progressed = True
+            if ready_count > grants:
+                bus_held = True
+
+            # 3. Module service: start new work, then retire finishing
+            # work (start-before-finish per module preserves the legacy
+            # phase order; modules are independent within a phase).
+            for m in list(active):
+                if svc_rid[m] < 0 and blk_rid[m] < 0:
+                    queue = in_q[m]
+                    if queue:
+                        rid = queue[0]
+                        if arrival[rid] <= cycle:
+                            queue.popleft()
+                            start[rid] = cycle
+                            svc_rid[m] = rid
+                            svc_finish[m] = cycle + service_time - 1
+                            progressed = True
+                if blk_rid[m] >= 0:
+                    if len(out_q[m]) < output_capacity:
+                        out_q[m].append((cycle + 1, blk_rid[m]))
+                        blk_rid[m] = -1
+                        progressed = True
+                elif svc_rid[m] >= 0 and svc_finish[m] == cycle:
+                    rid = svc_rid[m]
+                    svc_rid[m] = -1
+                    if len(out_q[m]) < output_capacity:
+                        out_q[m].append((cycle + 1, rid))
+                    else:
+                        blk_rid[m] = rid
+                    progressed = True
+                if (
+                    svc_rid[m] < 0
+                    and blk_rid[m] < 0
+                    and not in_q[m]
+                    and not out_q[m]
+                ):
+                    active.discard(m)
+
+            # 4. Event skip: a cycle in which nothing moved is followed
+            # by identical cycles until the next scheduled event; jump
+            # there, accounting the skipped stall cycles arithmetically.
+            if not progressed and delivered < total and shims is None:
+                next_event = guard + 1
+                for m in active:
+                    if svc_rid[m] >= 0:
+                        if svc_finish[m] < next_event:
+                            next_event = svc_finish[m]
+                    elif blk_rid[m] < 0 and in_q[m]:
+                        head_arrival = arrival[in_q[m][0]]
+                        if cycle < head_arrival < next_event:
+                            next_event = head_arrival
+                    if out_q[m]:
+                        ready = out_q[m][0][0]
+                        if cycle < ready < next_event:
+                            next_event = ready
+                jump = next_event - cycle - 1
+                if jump > 0:
+                    for port in range(ports):
+                        blocked = [
+                            s
+                            for s in port_members[port]
+                            if cursors[s] < stream_len[s]
+                        ]
+                        if not blocked:
+                            continue
+                        if round_robin:
+                            for s in blocked:
+                                stalls[s] += jump
+                        else:
+                            stalls[blocked[0]] += jump
+                    cycle += jump
+
+        # Materialise the timing records and per-stream summaries.
+        stream_runs: list[StreamRun] = []
+        for s_index, stream in enumerate(kernel_streams):
+            requests: list[InFlightRequest] = []
+            counts = [0] * module_count
+            for rid in stream_rids[s_index]:
+                m = mod[rid]
+                counts[m] += 1
+                requests.append(
+                    InFlightRequest(
+                        element_index=elem[rid],
+                        address=addr[rid],
+                        module=m,
+                        is_store=store_flag[rid],
+                        issue_cycle=issue[rid],
+                        arrival_cycle=arrival[rid],
+                        start_cycle=start[rid],
+                        finish_cycle=start[rid] + service_time - 1,
+                        delivery_cycle=delivery[rid],
+                    )
+                )
+            stream_runs.append(
+                StreamRun(
+                    name=stream.name,
+                    index=s_index,
+                    port=port_of[s_index],
+                    first_issue_cycle=first_issue[s_index],
+                    last_delivery_cycle=last_delivery[s_index],
+                    issue_stall_cycles=stalls[s_index],
+                    requests=tuple(requests),
+                    module_request_counts=tuple(counts),
+                )
+            )
+        # Every request is serviced for exactly ``T`` cycles, so busy
+        # accounting is arithmetic, not per-cycle ticking.
+        busy = tuple(
+            service_time
+            * sum(run.module_request_counts[m] for run in stream_runs)
+            for m in range(module_count)
+        )
+        return KernelRun(
+            streams=tuple(stream_runs),
+            total_cycles=cycle,
+            ports=ports,
+            bus_busy_cycles=bus_busy,
+            bus_held_result=bus_held,
+            module_busy_cycles=busy,
+            port_issue_cycles=tuple(port_issues),
+        )
+
+
+class _ModuleShim:
+    """Adapter presenting kernel flat state through the
+    :class:`~repro.memory.module.MemoryModule` result-side interface,
+    so custom :class:`~repro.memory.arbiter.ResultArbiter` policies keep
+    working against the kernel."""
+
+    __slots__ = ("_out_q", "index")
+
+    def __init__(self, out_q: list[deque[tuple[int, int]]], index: int):
+        self._out_q = out_q
+        self.index = index
+
+    def peek_deliverable(self, cycle: int) -> tuple[int, int] | None:
+        queue = self._out_q[self.index]
+        if not queue:
+            return None
+        ready, rid = queue[0]
+        if ready > cycle:
+            return None
+        return ready, rid

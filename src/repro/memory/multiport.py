@@ -15,6 +15,10 @@ unless their address patterns are disjoint in module space — e.g. two
 vectors of the same stride family whose base addresses differ in the low
 bits collide constantly, while streams of family ``x = s`` offset by one
 period interleave perfectly.
+
+:class:`MultiPortMemorySystem` is the ``k >= 1`` view over the unified
+:class:`~repro.memory.kernel.MemoryKernel`; the per-cycle machinery
+lives there, shared with the single-stream and single-bus views.
 """
 
 from __future__ import annotations
@@ -22,11 +26,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import ConfigurationError, SimulationError
-from repro.memory.arbiter import FifoArbiter
+from repro.errors import SimulationError
 from repro.memory.config import MemoryConfig
-from repro.memory.module import InFlightRequest, MemoryModule
-from repro.memory.multistream import MultiStreamResult, StreamResult
+from repro.memory.kernel import MemoryKernel
+from repro.memory.multistream import (
+    MultiStreamResult,
+    StreamResult,
+    stream_results_from_run,
+)
+
+__all__ = [
+    "MultiPortMemorySystem",
+    "MultiStreamResult",
+    "PortAssignment",
+    "StreamResult",
+]
 
 
 @dataclass(frozen=True)
@@ -49,12 +63,9 @@ class MultiPortMemorySystem:
     """
 
     def __init__(self, config: MemoryConfig, ports: int):
-        if ports < 1:
-            raise ConfigurationError(f"ports must be >= 1, got {ports}")
-        if config.module_count < ports:
-            raise ConfigurationError(
-                f"{ports} ports cannot be fed by {config.module_count} modules"
-            )
+        # The kernel validates the port geometry (ports >= 1, ports <= M)
+        # and raises ConfigurationError naming the offending field.
+        self.kernel = MemoryKernel(config, ports=ports)
         self.config = config
         self.ports = ports
 
@@ -64,111 +75,4 @@ class MultiPortMemorySystem:
         """Simulate all streams; stream ``i`` issues on port ``i % ports``."""
         if not streams or any(not stream for stream in streams):
             raise SimulationError("need at least one non-empty stream")
-        mapping = self.config.mapping
-        assignment = PortAssignment(self.ports, len(streams))
-        pending: list[list[InFlightRequest]] = [
-            [
-                InFlightRequest(
-                    element_index=element,
-                    address=mapping.reduce(address),
-                    module=mapping.module_of(mapping.reduce(address)),
-                )
-                for element, address in stream
-            ]
-            for stream in streams
-        ]
-
-        modules = [
-            MemoryModule(
-                index,
-                self.config.service_ratio,
-                self.config.input_capacity,
-                self.config.output_capacity,
-            )
-            for index in range(self.config.module_count)
-        ]
-
-        cursors = [0] * len(streams)
-        stalls = [0] * len(streams)
-        first_issue = [0] * len(streams)
-        last_delivery = [0] * len(streams)
-        owner_of: dict[int, int] = {}
-        port_rotation = [0] * self.ports
-        delivered = 0
-        total = sum(len(stream) for stream in pending)
-        bus_busy = 0
-        cycle = 0
-        guard = (total + 2) * (self.config.service_ratio + 2) + 64
-        arbiters = [FifoArbiter() for _ in range(self.ports)]
-
-        while delivered < total:
-            cycle += 1
-            if cycle > guard:
-                raise SimulationError(
-                    f"multi-port simulation exceeded {guard} cycles"
-                )
-
-            # 1. Address buses: one request per port per cycle.
-            for port in range(self.ports):
-                members = [
-                    index
-                    for index in range(len(streams))
-                    if assignment.port_of(index) == port
-                    and cursors[index] < len(pending[index])
-                ]
-                scan = sorted(
-                    members,
-                    key=lambda i: (i - port_rotation[port]) % max(len(streams), 1),
-                )
-                for stream_index in scan:
-                    request = pending[stream_index][cursors[stream_index]]
-                    target = modules[request.module]
-                    if target.can_accept():
-                        request.issue_cycle = cycle
-                        request.arrival_cycle = cycle + 1
-                        target.accept(request)
-                        owner_of[id(request)] = stream_index
-                        if first_issue[stream_index] == 0:
-                            first_issue[stream_index] = cycle
-                        cursors[stream_index] += 1
-                        port_rotation[port] = stream_index + 1
-                        bus_busy += 1
-                        break
-                    stalls[stream_index] += 1
-
-            # 2. Result buses: up to ``ports`` deliveries per cycle.
-            for arbiter in arbiters:
-                granted = arbiter.grant(modules, cycle)
-                if granted is None:
-                    break
-                request = modules[granted].pop_deliverable()
-                request.delivery_cycle = cycle
-                stream_index = owner_of.pop(id(request))
-                last_delivery[stream_index] = max(
-                    last_delivery[stream_index], cycle
-                )
-                delivered += 1
-
-            # 3. Modules.
-            for module in modules:
-                module.try_start(cycle)
-                module.tick_stats()
-            for module in modules:
-                module.try_finish(cycle)
-
-        stream_results = tuple(
-            StreamResult(
-                stream_index=index,
-                first_issue_cycle=first_issue[index],
-                last_delivery_cycle=last_delivery[index],
-                issue_stall_cycles=stalls[index],
-                wait_count=sum(1 for r in requests if r.waited),
-                element_count=len(requests),
-            )
-            for index, requests in enumerate(pending)
-        )
-        return MultiStreamResult(
-            streams=stream_results,
-            total_cycles=cycle,
-            bus_busy_cycles=bus_busy,
-        )
+        return stream_results_from_run(self.kernel.run(streams))

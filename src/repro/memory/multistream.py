@@ -17,6 +17,11 @@ conflict-free — each stream's carefully spaced module pattern is sheared
 by the other's stalls — which quantifies why the paper calls the
 multi-vector case a separate problem (experiment A2 in the ablation
 benches).
+
+:class:`MultiStreamMemorySystem` is the single-port multi-stream view
+over the unified :class:`~repro.memory.kernel.MemoryKernel`; widening
+the machine to several ports is the
+:class:`~repro.memory.multiport.MultiPortMemorySystem` view.
 """
 
 from __future__ import annotations
@@ -25,9 +30,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import SimulationError
-from repro.memory.arbiter import FifoArbiter, ResultArbiter
+from repro.memory.arbiter import ResultArbiter
 from repro.memory.config import MemoryConfig
-from repro.memory.module import InFlightRequest, MemoryModule
+from repro.memory.kernel import KernelRun, MemoryKernel
 
 
 @dataclass(frozen=True)
@@ -68,13 +73,35 @@ class MultiStreamResult:
         return self.bus_busy_cycles / self.total_cycles
 
 
+def stream_results_from_run(run: KernelRun) -> MultiStreamResult:
+    """A kernel run as the legacy :class:`MultiStreamResult` record."""
+    return MultiStreamResult(
+        streams=tuple(
+            StreamResult(
+                stream_index=stream.index,
+                first_issue_cycle=stream.first_issue_cycle,
+                last_delivery_cycle=stream.last_delivery_cycle,
+                issue_stall_cycles=stream.issue_stall_cycles,
+                wait_count=stream.wait_count,
+                element_count=stream.element_count,
+            )
+            for stream in run.streams
+        ),
+        total_cycles=run.total_cycles,
+        bus_busy_cycles=run.bus_busy_cycles,
+    )
+
+
 class MultiStreamMemorySystem:
     """The Figure 2 machine shared by several request streams.
 
     Parameters
     ----------
     config:
-        Shared memory geometry.
+        Shared memory geometry.  This view always models the single
+        shared address/result bus, whatever ``config.ports`` says; use
+        :class:`~repro.memory.multiport.MultiPortMemorySystem` (or the
+        kernel directly) for the widened machine.
     policy:
         ``"round_robin"`` — rotate the address bus across streams with
         pending requests; ``"priority"`` — stream 0 issues whenever it
@@ -88,11 +115,11 @@ class MultiStreamMemorySystem:
         policy: str = "round_robin",
         arbiter: ResultArbiter | None = None,
     ):
-        if policy not in ("round_robin", "priority"):
-            raise SimulationError(f"unknown issue policy {policy!r}")
+        self.kernel = MemoryKernel(
+            config, ports=1, policy=policy, arbiter=arbiter
+        )
         self.config = config
         self.policy = policy
-        self.arbiter = arbiter if arbiter is not None else FifoArbiter()
 
     def run_streams(
         self, streams: Sequence[Sequence[tuple[int, int]]]
@@ -100,116 +127,4 @@ class MultiStreamMemorySystem:
         """Simulate all streams to completion."""
         if not streams or any(not stream for stream in streams):
             raise SimulationError("need at least one non-empty stream")
-        mapping = self.config.mapping
-        pending: list[list[InFlightRequest]] = []
-        for stream_index, stream in enumerate(streams):
-            pending.append(
-                [
-                    InFlightRequest(
-                        element_index=element,
-                        address=mapping.reduce(address),
-                        module=mapping.module_of(mapping.reduce(address)),
-                    )
-                    for element, address in stream
-                ]
-            )
-
-        modules = [
-            MemoryModule(
-                index,
-                self.config.service_ratio,
-                self.config.input_capacity,
-                self.config.output_capacity,
-            )
-            for index in range(self.config.module_count)
-        ]
-
-        cursors = [0] * len(streams)
-        stalls = [0] * len(streams)
-        first_issue = [0] * len(streams)
-        last_delivery = [0] * len(streams)
-        owner_of: dict[int, int] = {}
-        delivered = 0
-        total = sum(len(stream) for stream in pending)
-        bus_busy = 0
-        rotate = 0
-        cycle = 0
-        guard = (total + 2) * (self.config.service_ratio + 2) + 64
-
-        while delivered < total:
-            cycle += 1
-            if cycle > guard:
-                raise SimulationError(
-                    f"multi-stream simulation exceeded {guard} cycles"
-                )
-
-            # 1. Address bus: one request from one stream.
-            candidates = [
-                index
-                for index in range(len(streams))
-                if cursors[index] < len(pending[index])
-            ]
-            issued = False
-            scan = (
-                sorted(candidates, key=lambda i: (i - rotate) % len(streams))
-                if self.policy == "round_robin"
-                else candidates
-            )
-            for stream_index in scan:
-                request = pending[stream_index][cursors[stream_index]]
-                target = modules[request.module]
-                if target.can_accept():
-                    request.issue_cycle = cycle
-                    request.arrival_cycle = cycle + 1
-                    target.accept(request)
-                    owner_of[id(request)] = stream_index
-                    if first_issue[stream_index] == 0:
-                        first_issue[stream_index] = cycle
-                    cursors[stream_index] += 1
-                    rotate = stream_index + 1
-                    issued = True
-                    bus_busy += 1
-                    break
-                # Head-of-line blocked stream counts a stall; under
-                # round-robin the bus tries the next stream.
-                stalls[stream_index] += 1
-                if self.policy == "priority":
-                    break
-            if not issued and not candidates:
-                pass  # all streams done issuing, draining results
-
-            # 2. Result bus.
-            granted = self.arbiter.grant(modules, cycle)
-            if granted is not None:
-                request = modules[granted].pop_deliverable()
-                request.delivery_cycle = cycle
-                stream_index = owner_of.pop(id(request))
-                last_delivery[stream_index] = max(
-                    last_delivery[stream_index], cycle
-                )
-                delivered += 1
-
-            # 3. Modules.
-            for module in modules:
-                module.try_start(cycle)
-                module.tick_stats()
-            for module in modules:
-                module.try_finish(cycle)
-
-        stream_results = []
-        for index, requests in enumerate(pending):
-            stream_results.append(
-                StreamResult(
-                    stream_index=index,
-                    first_issue_cycle=first_issue[index],
-                    last_delivery_cycle=last_delivery[index],
-                    issue_stall_cycles=stalls[index],
-                    wait_count=sum(1 for r in requests if r.waited),
-                    element_count=len(requests),
-                )
-            )
-        return MultiStreamResult(
-            streams=tuple(stream_results),
-            total_cycles=cycle,
-            bus_busy_cycles=bus_busy,
-        )
+        return stream_results_from_run(self.kernel.run(streams))

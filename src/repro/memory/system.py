@@ -17,6 +17,11 @@ Hence a conflict-free access of ``L`` elements issued at cycles
 minimum latency ``T + L + 1``.  The simulator's ``conflict_free``
 observation (no request ever waited) is cross-checked against the static
 predicate of :mod:`repro.core.distributions` in the test-suite.
+
+:class:`MemorySystem` is the single-stream view over the unified
+:class:`~repro.memory.kernel.MemoryKernel` (one stream; ``config.ports``
+result buses, one by default) — the cycle loop itself lives in the
+kernel, shared with the multi-stream and multi-port views.
 """
 
 from __future__ import annotations
@@ -26,9 +31,10 @@ from typing import Iterable, Sequence
 
 from repro.core.planner import AccessPlan
 from repro.errors import SimulationError
-from repro.memory.arbiter import FifoArbiter, ResultArbiter
+from repro.memory.arbiter import ResultArbiter
 from repro.memory.config import MemoryConfig
-from repro.memory.module import InFlightRequest, MemoryModule
+from repro.memory.kernel import KernelRun, KernelStream, MemoryKernel
+from repro.memory.module import InFlightRequest
 
 
 @dataclass(frozen=True)
@@ -81,12 +87,47 @@ class AccessResult:
         return self.latency - (service_ratio + self.element_count + 1)
 
 
+def access_result_from_run(
+    run: KernelRun, stream_index: int, service_ratio: int
+) -> AccessResult:
+    """One kernel stream's outcome as an :class:`AccessResult`.
+
+    For a single-stream run this is the classic whole-run record
+    (``latency`` = total cycles, busy cycles = the whole machine's,
+    and the run-global held-result flag — there is only one stream to
+    attribute it to).  For a stream in a multi-stream run, latency
+    spans cycle 1 (when the stream became eligible to issue) to its own
+    last delivery, and both busy cycles and held results are attributed
+    per stream: every request occupies its module for exactly ``T``
+    cycles, and a hold only taints the stream whose delivery actually
+    slipped past ``finish + 1``.
+    """
+    stream = run.streams[stream_index]
+    if len(run.streams) == 1:
+        latency = run.total_cycles
+        busy = run.module_busy_cycles
+        held = run.bus_held_result
+    else:
+        latency = stream.last_delivery_cycle
+        busy = tuple(
+            service_ratio * count for count in stream.module_request_counts
+        )
+        held = stream.result_held
+    return AccessResult(
+        latency=latency,
+        issue_stall_cycles=stream.issue_stall_cycles,
+        conflict_free=stream.conflict_free and not held,
+        requests=stream.requests,
+        module_busy_cycles=busy,
+    )
+
+
 class MemorySystem:
     """The multi-module memory of Figure 2, driven cycle by cycle."""
 
     def __init__(self, config: MemoryConfig, arbiter: ResultArbiter | None = None):
         self.config = config
-        self.arbiter = arbiter if arbiter is not None else FifoArbiter()
+        self.arbiter = arbiter
 
     def run_plan(self, plan: AccessPlan) -> AccessResult:
         """Simulate an :class:`~repro.core.planner.AccessPlan` (or any
@@ -105,86 +146,15 @@ class MemorySystem:
         """
         if not stream:
             raise SimulationError("cannot simulate an empty request stream")
-        store_positions = frozenset(stores)
-        mapping = self.config.mapping
-        requests = [
-            InFlightRequest(
-                element_index=element,
-                address=mapping.reduce(address),
-                module=mapping.module_of(mapping.reduce(address)),
-                is_store=position in store_positions,
-            )
-            for position, (element, address) in enumerate(stream)
-        ]
-
-        modules = [
-            MemoryModule(
-                index,
-                self.config.service_ratio,
-                self.config.input_capacity,
-                self.config.output_capacity,
-            )
-            for index in range(self.config.module_count)
-        ]
-
-        next_to_issue = 0
-        delivered = 0
-        issue_stalls = 0
-        bus_held_result = False
-        cycle = 0
-        guard = self._cycle_guard(len(requests))
-
-        while delivered < len(requests):
-            cycle += 1
-            if cycle > guard:
-                raise SimulationError(
-                    f"simulation exceeded {guard} cycles for "
-                    f"{len(requests)} requests — livelock?"
-                )
-
-            # 1. Processor issue (one request per cycle, stall on full).
-            if next_to_issue < len(requests):
-                request = requests[next_to_issue]
-                target = modules[request.module]
-                if target.can_accept():
-                    request.issue_cycle = cycle
-                    request.arrival_cycle = cycle + 1
-                    target.accept(request)
-                    next_to_issue += 1
-                else:
-                    issue_stalls += 1
-
-            # 2. Result bus: one delivery per cycle.
-            ready = [
-                module
-                for module in modules
-                if module.peek_deliverable(cycle) is not None
-            ]
-            if len(ready) > 1:
-                bus_held_result = True
-            granted = self.arbiter.grant(modules, cycle)
-            if granted is not None:
-                delivered_request = modules[granted].pop_deliverable()
-                delivered_request.delivery_cycle = cycle
-                delivered += 1
-
-            # 3. Module service: start new work, then retire finishing work.
-            for module in modules:
-                module.try_start(cycle)
-                module.tick_stats()
-            for module in modules:
-                module.try_finish(cycle)
-
-        no_waits = all(not request.waited for request in requests)
+        kernel = MemoryKernel(self.config, arbiter=self.arbiter)
+        run = kernel.run([KernelStream.of("access", stream, stores=stores)])
+        result = run.streams[0]
         return AccessResult(
-            latency=cycle,
-            issue_stall_cycles=issue_stalls,
-            conflict_free=no_waits and not bus_held_result and issue_stalls == 0,
-            requests=tuple(requests),
-            module_busy_cycles=tuple(module.busy_cycles for module in modules),
+            latency=run.total_cycles,
+            issue_stall_cycles=result.issue_stall_cycles,
+            conflict_free=(
+                result.conflict_free and not run.bus_held_result
+            ),
+            requests=result.requests,
+            module_busy_cycles=run.module_busy_cycles,
         )
-
-    def _cycle_guard(self, request_count: int) -> int:
-        """Upper bound on cycles: everything serialised through one module
-        plus drain, with generous margin."""
-        return (request_count + 2) * (self.config.service_ratio + 2) + 64

@@ -2,9 +2,9 @@
 
 Two independent units share a vector register file:
 
-* the **memory-access module** executes ``VLOAD``/``VSTORE`` through the
-  access planner, the Figure-6-style engine (abstractly, the plan's
-  request stream) and the cycle-accurate memory simulator;
+* the **memory-access module** executes ``VLOAD``/``VSTORE`` (and the
+  indexed ``VGATHER``/``VSCATTER``) through the access planner and the
+  unified cycle-accurate :class:`~repro.memory.kernel.MemoryKernel`;
 * the **execute unit** performs element-wise arithmetic, one element per
   cycle after a short pipeline start-up.
 
@@ -16,6 +16,16 @@ Section 5-F mode is enabled: when an operand was produced by a
 non-conflict-free loads the machine falls back to decoupled operation —
 precisely the paper's argument for why out-of-order conflict-free access
 re-enables chaining that buffered in-order access made impractical.
+
+The access unit sustains up to ``memory_streams`` concurrent in-flight
+memory instructions (default: one per memory port, so the classic
+single-port machine keeps the paper's serial per-access timing).
+Consecutive hazard-free memory instructions become concurrent, named
+streams of one kernel run — with two ports the unit issues a second
+load while the first drains; with one port the streams interleave on
+the shared address bus.  Register hazards, address overlap between
+stores and anything else, and operand readiness all close a batch, so
+program semantics never change — only the overlap.
 
 Timing is accounted per instruction; data really moves (loads read the
 backing store, stores write it), so end-to-end numerical correctness is
@@ -30,16 +40,17 @@ and the CLI both go through it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.gather import IndexedAccess, IndexedMode, plan_indexed
 from repro.core.planner import AccessPlanner, PlanMode
 from repro.core.vector import VectorAccess
-from repro.errors import ProgramError
+from repro.errors import ConfigurationError, ProgramError
 from repro.hardware.register_file import VectorRegisterFile
 from repro.memory.config import MemoryConfig
+from repro.memory.kernel import KernelStream, MemoryKernel
 from repro.memory.storage import MemoryStore
-from repro.memory.system import MemorySystem
+from repro.memory.system import MemorySystem, access_result_from_run
 from repro.processor.isa import (
     VBinary,
     VGather,
@@ -54,7 +65,13 @@ from repro.processor.program import Program
 
 @dataclass(frozen=True)
 class InstructionTiming:
-    """Cycle accounting for one executed instruction."""
+    """Cycle accounting for one executed instruction.
+
+    ``port`` and ``stream`` record the memory-side occupancy: which
+    address/result port the access issued on and which concurrent
+    stream slot of its batch it occupied (both ``None`` for execute
+    instructions).
+    """
 
     position: int
     mnemonic: str
@@ -63,6 +80,8 @@ class InstructionTiming:
     end_cycle: int
     mode: str  # plan scheme for memory ops, chained/decoupled for execute
     conflict_free: bool | None = None
+    port: int | None = None
+    stream: int | None = None
 
     @property
     def duration(self) -> int:
@@ -71,10 +90,16 @@ class InstructionTiming:
 
 @dataclass(frozen=True)
 class MachineResult:
-    """Outcome of running a program."""
+    """Outcome of running a program.
+
+    ``stream_concurrency_peak`` is the largest number of memory
+    instructions that were in flight together (1 on the classic
+    single-port, single-stream machine).
+    """
 
     timings: tuple[InstructionTiming, ...]
     total_cycles: int
+    stream_concurrency_peak: int = 1
 
     def memory_timings(self) -> list[InstructionTiming]:
         return [timing for timing in self.timings if timing.unit == "memory"]
@@ -98,13 +123,30 @@ class _LoadRecord:
     deliveries: list[tuple[int, int]]  # (delivery_cycle, element_index)
 
 
+@dataclass
+class _PendingAccess:
+    """One memory instruction prepared for (possibly batched) execution."""
+
+    position: int
+    instruction: object
+    kind: str  # "load" | "store" | "gather" | "scatter"
+    plan: object
+    stream: tuple[tuple[int, int], ...]
+    stores: tuple[int, ...]
+    ready_cycle: int
+    span: tuple[int, int]  # min/max raw address touched
+    is_store_op: bool
+    reads: frozenset[int] = field(default_factory=frozenset)
+    writes: frozenset[int] = field(default_factory=frozenset)
+
+
 class DecoupledVectorMachine:
     """A complete machine: processor + register file + memory + store.
 
     Parameters
     ----------
     config:
-        Memory geometry (mapping, T, buffers).
+        Memory geometry (mapping, T, buffers, ports).
     register_length:
         ``L`` — the vector register length the paper's scheme is designed
         around.
@@ -118,6 +160,11 @@ class DecoupledVectorMachine:
     plan_mode:
         Forwarded to the access planner (``"auto"`` by default; the
         benches use ``"ordered"`` to model the baseline machine).
+    memory_streams:
+        Maximum concurrent in-flight memory instructions the access
+        unit sustains.  ``None`` (the default) tracks the memory's port
+        count, so the classic single-port machine serialises accesses
+        exactly as before.
     """
 
     def __init__(
@@ -129,6 +176,7 @@ class DecoupledVectorMachine:
         chaining: bool = False,
         plan_mode: PlanMode = "auto",
         gather_mode: IndexedMode = "scheduled",
+        memory_streams: int | None = None,
     ):
         if register_length < 1:
             raise ProgramError(
@@ -138,6 +186,15 @@ class DecoupledVectorMachine:
             raise ProgramError(
                 f"execute_startup must be >= 1, got {execute_startup}"
             )
+        if memory_streams is not None and (
+            not isinstance(memory_streams, int)
+            or isinstance(memory_streams, bool)
+            or memory_streams < 1
+        ):
+            raise ConfigurationError(
+                f"machine field 'memory_streams' must be an integer >= 1 "
+                f"(or None to track the port count), got {memory_streams!r}"
+            )
         self.config = config
         self.register_length = register_length
         self.register_count = register_count
@@ -145,6 +202,9 @@ class DecoupledVectorMachine:
         self.chaining = chaining
         self.plan_mode: PlanMode = plan_mode
         self.gather_mode: IndexedMode = gather_mode
+        self.memory_streams = (
+            memory_streams if memory_streams is not None else config.ports
+        )
         self.planner = AccessPlanner(config.mapping, config.t)
         self.memory = MemorySystem(config)
         self.store = MemoryStore(config.mapping)
@@ -168,41 +228,62 @@ class DecoupledVectorMachine:
             if self.registers.register(number).valid_count > 0
         }
         program.validate(self.register_count, predefined=already_loaded)
-        self.memory_access_results = []
-        timings: list[InstructionTiming] = []
+        results_by_position: dict[int, object] = {}
+        timings: dict[int, InstructionTiming] = {}
         memory_free = 1
         execute_free = 1
         register_ready: dict[int, int] = {
             number: 0 for number in already_loaded
         }
         load_records: dict[int, _LoadRecord] = {}
+        batch: list[_PendingAccess] = []
+        batch_start = 1
+        peak = 0
+
+        def batch_registers() -> tuple[frozenset[int], frozenset[int]]:
+            reads: set[int] = set()
+            writes: set[int] = set()
+            for member in batch:
+                reads |= member.reads
+                writes |= member.writes
+            return frozenset(reads), frozenset(writes)
+
+        def finalise() -> None:
+            nonlocal memory_free, batch, peak
+            if not batch:
+                return
+            peak = max(peak, len(batch))
+            memory_free = self._finalise_batch(
+                batch,
+                batch_start,
+                register_ready,
+                load_records,
+                timings,
+                results_by_position,
+            )
+            batch = []
 
         for position, instruction in enumerate(program):
-            if isinstance(instruction, VLoad):
-                timing = self._run_load(
-                    position, instruction, memory_free, register_ready, load_records
+            touched_reads = frozenset(instruction.reads())
+            touched_writes = frozenset(instruction.writes())
+            if batch:
+                pending_reads, pending_writes = batch_registers()
+                if touched_reads & pending_writes or touched_writes & (
+                    pending_writes | pending_reads
+                ):
+                    # Register hazard against an in-flight access: drain
+                    # the batch so values and ready cycles are current.
+                    finalise()
+            if instruction.is_memory:
+                pending = self._prepare_memory(
+                    position, instruction, register_ready
                 )
-                memory_free = self._memory_release(timing)
-                timings.append(timing)
-            elif isinstance(instruction, VStore):
-                timing = self._run_store(
-                    position, instruction, memory_free, register_ready
-                )
-                memory_free = self._memory_release(timing)
-                timings.append(timing)
-            elif isinstance(instruction, VGather):
-                timing = self._run_gather(
-                    position, instruction, memory_free, register_ready,
-                    load_records,
-                )
-                memory_free = self._memory_release(timing)
-                timings.append(timing)
-            elif isinstance(instruction, VScatter):
-                timing = self._run_scatter(
-                    position, instruction, memory_free, register_ready
-                )
-                memory_free = self._memory_release(timing)
-                timings.append(timing)
+                if batch and self._can_join(pending, batch, batch_start):
+                    batch.append(pending)
+                else:
+                    finalise()
+                    batch_start = max(memory_free, pending.ready_cycle + 1)
+                    batch = [pending]
             elif isinstance(instruction, (VBinary, VScalarOp, VSum)):
                 timing, execute_free = self._run_execute(
                     position,
@@ -211,12 +292,22 @@ class DecoupledVectorMachine:
                     register_ready,
                     load_records,
                 )
-                timings.append(timing)
+                timings[position] = timing
             else:  # pragma: no cover - defensive
                 raise ProgramError(f"unsupported instruction {instruction!r}")
+        finalise()
 
-        total = max((timing.end_cycle for timing in timings), default=0)
-        return MachineResult(timings=tuple(timings), total_cycles=total)
+        self.memory_access_results = [
+            results_by_position[position]
+            for position in sorted(results_by_position)
+        ]
+        ordered = tuple(timings[position] for position in sorted(timings))
+        total = max((timing.end_cycle for timing in ordered), default=0)
+        return MachineResult(
+            timings=ordered,
+            total_cycles=total,
+            stream_concurrency_peak=max(peak, 1),
+        )
 
     # -- memory unit ----------------------------------------------------
 
@@ -232,75 +323,6 @@ class DecoupledVectorMachine:
                 f"{self.register_length}"
             )
         return VectorAccess(instruction.base, instruction.stride, length)
-
-    def _run_load(
-        self,
-        position: int,
-        instruction: VLoad,
-        memory_free: int,
-        register_ready: dict[int, int],
-        load_records: dict[int, _LoadRecord],
-    ) -> InstructionTiming:
-        vector = self._vector_for(instruction)
-        plan = self.planner.plan(vector, mode=self.plan_mode)
-        result = self.memory.run_plan(plan)
-        self.memory_access_results.append(result)
-        start = memory_free
-        offset = start - 1
-
-        register = self.registers.register(instruction.dst)
-        register.clear()
-        deliveries: list[tuple[int, int]] = []
-        for request in sorted(result.requests, key=lambda r: r.delivery_cycle):
-            value = self.store.read(request.address)
-            register.write(request.element_index, value)
-            deliveries.append(
-                (request.delivery_cycle + offset, request.element_index)
-            )
-
-        end = start + result.latency - 1
-        register_ready[instruction.dst] = end
-        load_records[instruction.dst] = _LoadRecord(
-            conflict_free=result.conflict_free, deliveries=deliveries
-        )
-        return InstructionTiming(
-            position,
-            instruction.mnemonic,
-            "memory",
-            start,
-            end,
-            plan.scheme,
-            result.conflict_free,
-        )
-
-    def _run_store(
-        self,
-        position: int,
-        instruction: VStore,
-        memory_free: int,
-        register_ready: dict[int, int],
-    ) -> InstructionTiming:
-        vector = self._vector_for(instruction)
-        plan = self.planner.plan(vector, mode=self.plan_mode)
-        result = self.memory.run_stream(
-            plan.request_stream(), stores=range(vector.length)
-        )
-        self.memory_access_results.append(result)
-        register = self.registers.register(instruction.src)
-        for element_index, address in plan.request_stream():
-            self.store.write(address, register.read(element_index))
-
-        start = max(memory_free, register_ready[instruction.src] + 1)
-        end = start + result.latency - 1
-        return InstructionTiming(
-            position,
-            instruction.mnemonic,
-            "memory",
-            start,
-            end,
-            plan.scheme,
-            result.conflict_free,
-        )
 
     def _indexed_access_for(self, instruction) -> IndexedAccess:
         """Build the gather/scatter address set from the index register."""
@@ -318,91 +340,177 @@ class DecoupledVectorMachine:
         indices = [int(index_register.read(i)) for i in range(length)]
         return IndexedAccess(instruction.base, indices)
 
-    def _run_gather(
+    def _prepare_memory(
+        self, position: int, instruction, register_ready: dict[int, int]
+    ) -> _PendingAccess:
+        """Plan one memory instruction and capture its constraints."""
+        if isinstance(instruction, (VLoad, VStore)):
+            vector = self._vector_for(instruction)
+            plan = self.planner.plan(vector, mode=self.plan_mode)
+            stream = tuple(plan.request_stream())
+            if isinstance(instruction, VLoad):
+                return _PendingAccess(
+                    position,
+                    instruction,
+                    "load",
+                    plan,
+                    stream,
+                    (),
+                    0,
+                    _address_span(stream),
+                    False,
+                    writes=frozenset((instruction.dst,)),
+                )
+            return _PendingAccess(
+                position,
+                instruction,
+                "store",
+                plan,
+                stream,
+                tuple(range(vector.length)),
+                register_ready[instruction.src],
+                _address_span(stream),
+                True,
+                reads=frozenset((instruction.src,)),
+            )
+        access = self._indexed_access_for(instruction)
+        plan = plan_indexed(
+            self.config.mapping, self.config.t, access, mode=self.gather_mode
+        )
+        stream = tuple(plan.request_stream())
+        if isinstance(instruction, VGather):
+            return _PendingAccess(
+                position,
+                instruction,
+                "gather",
+                plan,
+                stream,
+                (),
+                register_ready[instruction.index],
+                _address_span(stream),
+                False,
+                reads=frozenset((instruction.index,)),
+                writes=frozenset((instruction.dst,)),
+            )
+        return _PendingAccess(
+            position,
+            instruction,
+            "scatter",
+            plan,
+            stream,
+            tuple(range(access.length)),
+            max(
+                register_ready[instruction.src],
+                register_ready[instruction.index],
+            ),
+            _address_span(stream),
+            True,
+            reads=frozenset((instruction.src, instruction.index)),
+        )
+
+    def _can_join(
         self,
-        position: int,
-        instruction: VGather,
-        memory_free: int,
+        pending: _PendingAccess,
+        batch: list[_PendingAccess],
+        batch_start: int,
+    ) -> bool:
+        """May ``pending`` run concurrently with the open batch?
+
+        Register hazards were already drained by the caller; what is
+        left is capacity, operand readiness (a late-arriving operand
+        must not delay streams already in flight) and memory ordering
+        (a store may not overlap any concurrent access's address span).
+        """
+        if len(batch) >= self.memory_streams:
+            return False
+        if pending.ready_cycle + 1 > batch_start:
+            return False
+        for member in batch:
+            if pending.is_store_op or member.is_store_op:
+                if not _spans_disjoint(pending.span, member.span):
+                    return False
+        return True
+
+    def _finalise_batch(
+        self,
+        batch: list[_PendingAccess],
+        batch_start: int,
         register_ready: dict[int, int],
         load_records: dict[int, _LoadRecord],
-    ) -> InstructionTiming:
-        access = self._indexed_access_for(instruction)
-        plan = plan_indexed(
-            self.config.mapping, self.config.t, access, mode=self.gather_mode
-        )
-        result = self.memory.run_stream(plan.request_stream())
-        self.memory_access_results.append(result)
-        # The gather cannot start before its index register is complete.
-        start = max(memory_free, register_ready[instruction.index] + 1)
-        offset = start - 1
+        timings: dict[int, InstructionTiming],
+        results_by_position: dict[int, object],
+    ) -> int:
+        """Run the batch (one kernel run), apply values, record timing.
 
-        register = self.registers.register(instruction.dst)
-        register.clear()
-        deliveries: list[tuple[int, int]] = []
-        for request in sorted(result.requests, key=lambda r: r.delivery_cycle):
-            register.write(
-                request.element_index, self.store.read(request.address)
-            )
-            deliveries.append(
-                (request.delivery_cycle + offset, request.element_index)
-            )
-
-        end = start + result.latency - 1
-        register_ready[instruction.dst] = end
-        load_records[instruction.dst] = _LoadRecord(
-            conflict_free=result.conflict_free, deliveries=deliveries
-        )
-        return InstructionTiming(
-            position,
-            instruction.mnemonic,
-            "memory",
-            start,
-            end,
-            plan.scheme,
-            result.conflict_free,
-        )
-
-    def _run_scatter(
-        self,
-        position: int,
-        instruction: VScatter,
-        memory_free: int,
-        register_ready: dict[int, int],
-    ) -> InstructionTiming:
-        access = self._indexed_access_for(instruction)
-        plan = plan_indexed(
-            self.config.mapping, self.config.t, access, mode=self.gather_mode
-        )
-        result = self.memory.run_stream(
-            plan.request_stream(), stores=range(access.length)
-        )
-        self.memory_access_results.append(result)
-        source = self.registers.register(instruction.src)
-        for element, address in plan.request_stream():
-            self.store.write(address, source.read(element))
-
-        operands_ready = max(
-            register_ready[instruction.src], register_ready[instruction.index]
-        )
-        start = max(memory_free, operands_ready + 1)
-        end = start + result.latency - 1
-        return InstructionTiming(
-            position,
-            instruction.mnemonic,
-            "memory",
-            start,
-            end,
-            plan.scheme,
-            result.conflict_free,
-        )
-
-    def _memory_release(self, timing: InstructionTiming) -> int:
-        """The memory unit frees once the access fully drains.
-
-        A conservative simplification (one outstanding vector access);
-        the paper's latency analysis is likewise per-access.
+        Returns the cycle the memory unit frees (all streams drained).
         """
-        return timing.end_cycle + 1
+        offset = batch_start - 1
+        if len(batch) == 1:
+            member = batch[0]
+            result = self.memory.run_stream(member.stream, stores=member.stores)
+            outcomes = [(member, result, result.latency, 0, 0)]
+        else:
+            kernel = MemoryKernel(self.config)
+            run = kernel.run(
+                [
+                    KernelStream.of(
+                        f"i{member.position}",
+                        member.stream,
+                        stores=member.stores,
+                    )
+                    for member in batch
+                ]
+            )
+            outcomes = [
+                (
+                    member,
+                    access_result_from_run(
+                        run, slot, self.config.service_ratio
+                    ),
+                    run.streams[slot].last_delivery_cycle,
+                    run.streams[slot].port,
+                    slot,
+                )
+                for slot, member in enumerate(batch)
+            ]
+        unit_free = batch_start
+        for member, result, relative_end, port, slot in outcomes:
+            end = offset + relative_end
+            unit_free = max(unit_free, end + 1)
+            results_by_position[member.position] = result
+            if member.kind in ("load", "gather"):
+                register = self.registers.register(member.instruction.dst)
+                register.clear()
+                deliveries: list[tuple[int, int]] = []
+                for request in sorted(
+                    result.requests, key=lambda r: r.delivery_cycle
+                ):
+                    register.write(
+                        request.element_index, self.store.read(request.address)
+                    )
+                    deliveries.append(
+                        (request.delivery_cycle + offset, request.element_index)
+                    )
+                register_ready[member.instruction.dst] = end
+                load_records[member.instruction.dst] = _LoadRecord(
+                    conflict_free=result.conflict_free, deliveries=deliveries
+                )
+            else:  # store / scatter: move register data into memory
+                source = self.registers.register(member.instruction.src)
+                for element, address in member.plan.request_stream():
+                    self.store.write(address, source.read(element))
+            timings[member.position] = InstructionTiming(
+                member.position,
+                member.instruction.mnemonic,
+                "memory",
+                batch_start,
+                end,
+                member.plan.scheme,
+                result.conflict_free,
+                port=port,
+                stream=slot,
+            )
+        return unit_free
 
     # -- execute unit ---------------------------------------------------
 
@@ -497,3 +605,13 @@ class DecoupledVectorMachine:
                 destination.write(index, instruction.apply(source.read(index)))
         else:  # pragma: no cover - defensive
             raise ProgramError(f"unsupported execute instruction {instruction!r}")
+
+
+def _address_span(stream: tuple[tuple[int, int], ...]) -> tuple[int, int]:
+    """Min/max raw address a request stream touches (overlap test)."""
+    addresses = [address for _element, address in stream]
+    return min(addresses), max(addresses)
+
+
+def _spans_disjoint(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[1] < b[0] or b[1] < a[0]

@@ -30,6 +30,9 @@ from repro.processor.isa import VAdd, VLoad
 from repro.processor.program import MemoryInit, Program
 
 #: Schema of one timeline row, in order (see :attr:`ProgramRun.timeline`).
+#: ``port`` and ``stream`` record per-instruction memory occupancy: the
+#: address/result port the access issued on and the concurrent stream
+#: slot it occupied in its batch (``None`` for execute instructions).
 TIMELINE_FIELDS = (
     "position",
     "mnemonic",
@@ -39,6 +42,8 @@ TIMELINE_FIELDS = (
     "duration",
     "mode",
     "conflict_free",
+    "port",
+    "stream",
 )
 
 #: Absolute tolerance of the numerical-correctness check.  The modelled
@@ -68,6 +73,7 @@ class ProgramRun:
     outputs_correct: bool | None
     output_errors: tuple[str, ...]
     machine: DecoupledVectorMachine = field(repr=False, compare=False)
+    stream_concurrency_peak: int = 1
 
     @property
     def chained_count(self) -> int:
@@ -108,6 +114,7 @@ class ProgramEngine:
         chaining: bool = False,
         plan_mode: PlanMode = "auto",
         gather_mode: IndexedMode = "scheduled",
+        memory_streams: int | None = None,
     ):
         self.config = config
         self.register_length = register_length
@@ -116,6 +123,7 @@ class ProgramEngine:
         self.chaining = chaining
         self.plan_mode: PlanMode = plan_mode
         self.gather_mode: IndexedMode = gather_mode
+        self.memory_streams = memory_streams
 
     def build_machine(self) -> DecoupledVectorMachine:
         return DecoupledVectorMachine(
@@ -126,6 +134,7 @@ class ProgramEngine:
             chaining=self.chaining,
             plan_mode=self.plan_mode,
             gather_mode=self.gather_mode,
+            memory_streams=self.memory_streams,
         )
 
     def run(
@@ -167,6 +176,8 @@ class ProgramEngine:
                     timing.duration,
                     timing.mode,
                     timing.conflict_free,
+                    timing.port,
+                    timing.stream,
                 )
                 for timing in result.timings
             ),
@@ -175,6 +186,7 @@ class ProgramEngine:
             outputs_correct=outputs_correct,
             output_errors=output_errors,
             machine=machine,
+            stream_concurrency_peak=result.stream_concurrency_peak,
         )
 
     def measured_chaining_speedup(
@@ -206,6 +218,7 @@ class ProgramEngine:
             chaining=chaining,
             plan_mode=self.plan_mode,
             gather_mode=self.gather_mode,
+            memory_streams=self.memory_streams,
         )
 
     @staticmethod

@@ -11,7 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ProgramError
-from repro.processor.isa import VAdd, VLoad, VMul, VScale, VStore, VSub
+from repro.processor.isa import (
+    VAdd,
+    VGather,
+    VLoad,
+    VMul,
+    VScale,
+    VScatter,
+    VStore,
+    VSub,
+    VSum,
+)
 from repro.processor.program import Program
 
 
@@ -162,6 +172,106 @@ def fft_butterfly_program(
             program.append(VSub(4, 1, 2, length))
             program.append(VStore(3, top, group, length))
             program.append(VStore(4, bottom, group, length))
+    return program
+
+
+def vsum_program(
+    n: int,
+    register_length: int,
+    src_base: int,
+    src_stride: int,
+    out_base: int,
+) -> Program:
+    """Strip-mined reduction ``out[0] = sum(x)`` over ``n`` elements.
+
+    Each strip is loaded (V1) and reduced with ``VSUM``; strip totals
+    accumulate in a ping-pong accumulator pair (V3/V4, single-element
+    adds) because the execute unit's destination register must differ
+    from its sources.  The scalar result is stored at ``out_base``.
+    """
+    program = Program()
+    accumulator = 3
+    spare = 4
+    first = True
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(1, src_base + src_stride * strip.offset, src_stride, length)
+        )
+        if first:
+            program.append(VSum(accumulator, 1, length))
+            first = False
+        else:
+            program.append(VSum(2, 1, length))
+            program.append(VAdd(spare, accumulator, 2, 1))
+            accumulator, spare = spare, accumulator
+    program.append(VStore(accumulator, out_base, 1, 1))
+    return program
+
+
+def gather_program(
+    n: int,
+    register_length: int,
+    table_base: int,
+    index_base: int,
+    index_stride: int,
+    out_base: int,
+    out_stride: int,
+) -> Program:
+    """Strip-mined indexed load: ``out[i] = table[index[i]]``.
+
+    Per strip: load the index vector (V1), ``VGATHER`` through it into
+    V2, store the gathered values — the sparse inner loop the paper's
+    Section 6 gather hardware serves (the ISA and engine already run
+    ``VGATHER``; this builder makes it a registered program kind).
+    """
+    program = Program()
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(
+                1,
+                index_base + index_stride * strip.offset,
+                index_stride,
+                length,
+            )
+        )
+        program.append(VGather(2, table_base, 1, length))
+        program.append(
+            VStore(2, out_base + out_stride * strip.offset, out_stride, length)
+        )
+    return program
+
+
+def scatter_program(
+    n: int,
+    register_length: int,
+    table_base: int,
+    index_base: int,
+    index_stride: int,
+    src_base: int,
+    src_stride: int,
+) -> Program:
+    """Strip-mined indexed store: ``table[index[i]] = x[i]``.
+
+    Per strip: load the index vector (V1) and the data vector (V2),
+    then ``VSCATTER`` the data through the indices.
+    """
+    program = Program()
+    for strip in strip_bounds(n, register_length):
+        length = None if strip.length == register_length else strip.length
+        program.append(
+            VLoad(
+                1,
+                index_base + index_stride * strip.offset,
+                index_stride,
+                length,
+            )
+        )
+        program.append(
+            VLoad(2, src_base + src_stride * strip.offset, src_stride, length)
+        )
+        program.append(VScatter(2, table_base, 1, length))
     return program
 
 

@@ -32,8 +32,11 @@ from repro.processor.stripmine import (
     daxpy_program,
     elementwise_product_program,
     fft_butterfly_program,
+    gather_program,
     load_store_copy_program,
     saxpy_chain_program,
+    scatter_program,
+    vsum_program,
 )
 from repro.scenarios.registry import DRIVE, MAPPING, PROGRAM, WORKLOAD, register
 from repro.workloads.indexed import (
@@ -366,12 +369,19 @@ class Figure6Drive:
 
 @dataclass(frozen=True)
 class DecoupledDrive:
-    """Run VLOADs through the full decoupled access/execute machine."""
+    """Run VLOADs through the full decoupled access/execute machine.
+
+    ``memory_streams`` caps the access unit's concurrent in-flight
+    memory instructions; ``None`` tracks the memory's port count
+    (``memory.ports`` in the spec), so the classic single-port design
+    keeps the paper's serial per-access timing.
+    """
 
     chaining: bool = False
     plan_mode: str = "auto"
     execute_startup: int = 4
     register_length: int | None = None
+    memory_streams: int | None = None
 
 
 # -- programs ------------------------------------------------------------
@@ -651,6 +661,132 @@ def _fft_butterfly(
     )
 
 
+def _shuffled_indices(n: int, seed: int) -> list[int]:
+    """A deterministic permutation of ``range(n)`` (gather/scatter data)."""
+    import random
+
+    order = list(range(n))
+    random.Random(seed).shuffle(order)
+    return order
+
+
+@register(
+    PROGRAM,
+    "vsum",
+    example={"n": 96},
+    summary="Strip-mined reduction out[0] = sum(x) (VSUM + accumulator)",
+)
+def _vsum(
+    n: int,
+    src_base: int = 0,
+    src_stride: int = 4,
+    out_base: int | None = None,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    _check_stride("src_stride", src_stride)
+    out_base = _auto_base("out_base", out_base, src_base, src_stride, n)
+    values = _ramp(n, start=1.0)
+    return ScenarioProgram(
+        label=f"vsum(n={n})",
+        program=vsum_program(n, register_length, src_base, src_stride, out_base),
+        inputs=((src_base, src_stride, values),),
+        expected=((out_base, 1, (sum(values),)),),
+    )
+
+
+@register(
+    PROGRAM,
+    "gather",
+    example={"n": 96},
+    summary="Strip-mined indexed load out[i] = table[index[i]] (VGATHER)",
+)
+def _gather_program(
+    n: int,
+    table_size: int | None = None,
+    seed: int = 0,
+    index_base: int = 0,
+    index_stride: int = 1,
+    table_base: int | None = None,
+    out_base: int | None = None,
+    out_stride: int = 1,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    _check_stride("index_stride", index_stride)
+    _check_stride("out_stride", out_stride)
+    if table_size is None:
+        table_size = n
+    if (
+        not isinstance(table_size, int)
+        or isinstance(table_size, bool)
+        or table_size < n
+    ):
+        raise ConfigurationError(
+            f"program field 'table_size' must be an int >= n={n}, got "
+            f"{table_size!r}"
+        )
+    table_base = _auto_base("table_base", table_base, index_base, index_stride, n)
+    out_base = _auto_base("out_base", out_base, table_base, 1, table_size)
+    indices = _shuffled_indices(table_size, seed)[:n]
+    table = _ramp(table_size, start=10.0)
+    expected = tuple(table[index] for index in indices)
+    return ScenarioProgram(
+        label=f"gather(n={n}, table={table_size})",
+        program=gather_program(
+            n, register_length, table_base, index_base, index_stride,
+            out_base, out_stride,
+        ),
+        inputs=(
+            (index_base, index_stride, tuple(float(i) for i in indices)),
+            (table_base, 1, table),
+        ),
+        expected=((out_base, out_stride, expected),),
+    )
+
+
+@register(
+    PROGRAM,
+    "scatter",
+    example={"n": 96},
+    summary="Strip-mined indexed store table[index[i]] = x[i] (VSCATTER)",
+)
+def _scatter_program(
+    n: int,
+    seed: int = 0,
+    index_base: int = 0,
+    index_stride: int = 1,
+    src_base: int | None = None,
+    src_stride: int = 1,
+    table_base: int | None = None,
+    register_length: int = DEFAULT_PROGRAM_REGISTER_LENGTH,
+) -> ScenarioProgram:
+    n = _check_length(n)
+    _check_stride("index_stride", index_stride)
+    _check_stride("src_stride", src_stride)
+    src_base = _auto_base("src_base", src_base, index_base, index_stride, n)
+    table_base = _auto_base("table_base", table_base, src_base, src_stride, n)
+    # A permutation keeps the scatter write set unambiguous: every table
+    # slot is written exactly once, whatever the delivery order.
+    indices = _shuffled_indices(n, seed)
+    values = _ramp(n, start=1.0, step=0.5)
+    expected = [0.0] * n
+    for position, index in enumerate(indices):
+        expected[index] = values[position]
+    return ScenarioProgram(
+        label=f"scatter(n={n})",
+        program=scatter_program(
+            n, register_length, table_base, index_base, index_stride,
+            src_base, src_stride,
+        ),
+        inputs=(
+            (index_base, index_stride, tuple(float(i) for i in indices)),
+            (src_base, src_stride, values),
+        ),
+        expected=((table_base, 1, tuple(expected)),),
+    )
+
+
 @register(
     DRIVE,
     "planner",
@@ -691,10 +827,22 @@ def _decoupled_drive(
     plan_mode: str = "auto",
     execute_startup: int = 4,
     register_length: int | None = None,
+    memory_streams: int | None = None,
 ) -> DecoupledDrive:
     if plan_mode not in ("auto", "ordered", "subsequence", "conflict_free"):
         raise ConfigurationError(
             f"plan_mode must be auto/ordered/subsequence/conflict_free, "
             f"got {plan_mode!r}"
         )
-    return DecoupledDrive(chaining, plan_mode, execute_startup, register_length)
+    if memory_streams is not None and (
+        not isinstance(memory_streams, int)
+        or isinstance(memory_streams, bool)
+        or memory_streams < 1
+    ):
+        raise ConfigurationError(
+            f"drive field 'memory_streams' must be an integer >= 1 (or "
+            f"null to track memory.ports), got {memory_streams!r}"
+        )
+    return DecoupledDrive(
+        chaining, plan_mode, execute_startup, register_length, memory_streams
+    )

@@ -39,6 +39,12 @@ LOWER_IS_WORSE = frozenset(
     {
         "efficiency",
         "extra:chaining_speedup",
+        # Port/stream occupancy: losing memory-level parallelism (fewer
+        # concurrent in-flight accesses, less hidden overlap) is a
+        # regression; the port/stream *counts* themselves are design
+        # choices and stay direction-free.
+        "extra:stream_concurrency_peak",
+        "extra:overlap_fraction",
     }
 )
 

@@ -62,6 +62,8 @@ TIMELINE_FIELDS = (
     "duration",
     "mode",
     "conflict_free",
+    "port",
+    "stream",
 )
 
 
@@ -224,11 +226,19 @@ def build_config(
     planner and memory system on top for the access-driven paths.
     """
     mapping = resolve_mapping(spec, workload)
+    if spec.memory.ports > mapping.module_count:
+        raise ConfigurationError(
+            f"scenario field 'memory.ports' ({spec.memory.ports}) exceeds "
+            f"the module count M={mapping.module_count} of mapping "
+            f"{spec.mapping.kind!r}: each port needs at least one module "
+            "to talk to"
+        )
     return MemoryConfig(
         mapping,
         spec.memory.t,
         input_capacity=spec.memory.q,
         output_capacity=spec.memory.qp,
+        ports=spec.memory.ports,
     )
 
 
@@ -374,6 +384,7 @@ def _simulate_decoupled(
         execute_startup=drive.execute_startup,
         chaining=drive.chaining,
         plan_mode=drive.plan_mode,  # type: ignore[arg-type]
+        memory_streams=drive.memory_streams,
     )
     # The implicit program: one VLOAD (plus a dependent VADD when
     # chaining, which makes the chained overlap observable).
@@ -430,6 +441,7 @@ def _simulate_program(
         execute_startup=drive.execute_startup,
         chaining=drive.chaining,
         plan_mode=drive.plan_mode,  # type: ignore[arg-type]
+        memory_streams=drive.memory_streams,
     )
     run = engine.run(
         scenario_program.program,
@@ -446,6 +458,9 @@ def _simulate_program(
         ("chained_instructions", run.chained_count),
         ("conflict_free_loads", run.conflict_free_loads),
         ("overlap_fraction", run.overlap_fraction),
+        ("memory_ports", config.ports),
+        ("memory_streams", run.machine.memory_streams),
+        ("stream_concurrency_peak", run.stream_concurrency_peak),
     ]
     if run.outputs_correct is not None:
         extras.append(("numerically_correct", run.outputs_correct))
@@ -456,11 +471,11 @@ def _simulate_program(
             scenario_program.program, scenario_program.inputs, chained_run=run
         )
         extras.append(("chaining_speedup", measured))
-        # The analytic model assumes every access is conflict-free; only
-        # report it (and its acceptance tolerance) when that premise
-        # holds, so consumers never compare against an inapplicable
-        # prediction.
-        model_applicable = all(
+        # The analytic model assumes every access is conflict-free and
+        # a serial memory unit (one in-flight access); only report it
+        # (and its acceptance tolerance) when both premises hold, so
+        # consumers never compare against an inapplicable prediction.
+        model_applicable = run.machine.memory_streams == 1 and all(
             access.conflict_free for _scheme, access in run.memory_runs
         )
         extras.append(("chaining_model_applicable", model_applicable))

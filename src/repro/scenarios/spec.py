@@ -145,7 +145,7 @@ class ComponentSpec:
 
 @dataclass(frozen=True)
 class MemorySpec:
-    """Memory geometry: service ratio exponent and buffer depths.
+    """Memory geometry: service ratio exponent, buffers and ports.
 
     Attributes
     ----------
@@ -157,15 +157,20 @@ class MemorySpec:
         Output slots per module (``q'`` in the paper).
     address_bits:
         Width of the machine address space.
+    ports:
+        ``k`` — address/result bus pairs (the Section 6 "several memory
+        ports" outlook).  On the program path the access unit sustains
+        one concurrent in-flight memory instruction per port.
     """
 
     t: int
     q: int = 1
     qp: int = 1
     address_bits: int = 32
+    ports: int = 1
 
     def __post_init__(self) -> None:
-        for name in ("t", "q", "qp", "address_bits"):
+        for name in ("t", "q", "qp", "address_bits", "ports"):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ConfigurationError(
@@ -182,6 +187,10 @@ class MemorySpec:
             raise ConfigurationError(
                 f"address_bits must be >= 1, got {self.address_bits}"
             )
+        if self.ports < 1:
+            raise ConfigurationError(
+                f"memory spec field 'ports' must be >= 1, got {self.ports}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -189,6 +198,7 @@ class MemorySpec:
             "q": self.q,
             "qp": self.qp,
             "address_bits": self.address_bits,
+            "ports": self.ports,
         }
 
     @classmethod
@@ -197,7 +207,7 @@ class MemorySpec:
             raise ConfigurationError(
                 f"memory spec must be an object, got {type(data).__name__}"
             )
-        unknown = set(data) - {"t", "q", "qp", "address_bits"}
+        unknown = set(data) - {"t", "q", "qp", "address_bits", "ports"}
         if unknown:
             raise ConfigurationError(
                 f"unknown memory spec keys: {', '.join(sorted(unknown))}"
@@ -209,6 +219,7 @@ class MemorySpec:
             q=data.get("q", 1),
             qp=data.get("qp", 1),
             address_bits=data.get("address_bits", 32),
+            ports=data.get("ports", 1),
         )
 
 
@@ -345,6 +356,8 @@ class ScenarioSpec:
             f"q={self.memory.q}",
             f"q'={self.memory.qp}",
         ]
+        if self.memory.ports != 1:
+            parts.append(f"ports={self.memory.ports}")
         if self.workload is not None:
             parts.append(f"workload={self.workload.describe()}")
         if self.program is not None:

@@ -146,3 +146,66 @@ class TestNewKernelBuilders:
             fft_butterfly_program(24, 0, 8)  # not a power of two
         with pytest.raises(ProgramError):
             fft_butterfly_program(16, 4, 8)  # stage out of range
+
+
+class TestReductionAndIndexedBuilders:
+    """The vsum / gather / scatter program builders (ROADMAP items)."""
+
+    def make_machine(self, register_length=16):
+        return DecoupledVectorMachine(
+            MemoryConfig.matched(t=3, s=4, input_capacity=2),
+            register_length=register_length,
+        )
+
+    def test_vsum_reduces_across_strips(self):
+        from repro.processor.stripmine import vsum_program
+
+        machine = self.make_machine()
+        values = [float(i) for i in range(50)]
+        machine.store.write_vector(0, 3, values)
+        machine.run(vsum_program(50, 16, 0, 3, 90000))
+        assert machine.store.read_vector(90000, 1, 1) == [sum(values)]
+
+    def test_vsum_single_strip(self):
+        from repro.processor.stripmine import vsum_program
+
+        machine = self.make_machine()
+        machine.store.write_vector(0, 1, [2.0] * 8)
+        machine.run(vsum_program(8, 16, 0, 1, 90000))
+        assert machine.store.read_vector(90000, 1, 1) == [16.0]
+
+    def test_gather_permutes_through_table(self):
+        from repro.processor.stripmine import gather_program
+
+        machine = self.make_machine()
+        indices = [5, 3, 0, 7, 1, 6, 2, 4, 9, 8, 11, 10, 13, 12, 15, 14,
+                   17, 16]
+        table = [float(10 + i) for i in range(18)]
+        machine.store.write_vector(0, 1, [float(i) for i in indices])
+        machine.store.write_vector(4096, 1, table)
+        machine.run(gather_program(18, 16, 4096, 0, 1, 90000, 1))
+        assert machine.store.read_vector(90000, 1, 18) == [
+            table[i] for i in indices
+        ]
+
+    def test_scatter_writes_through_indices(self):
+        from repro.processor.stripmine import scatter_program
+
+        machine = self.make_machine()
+        indices = [3, 1, 4, 0, 2, 5, 7, 6, 10, 8, 9, 12, 11, 14, 13, 15,
+                   16, 17]
+        values = [float(i) for i in range(18)]
+        machine.store.write_vector(0, 1, [float(i) for i in indices])
+        machine.store.write_vector(4096, 1, values)
+        machine.run(scatter_program(18, 16, 90000, 0, 1, 4096, 1))
+        out = machine.store.read_vector(90000, 1, 18)
+        for position, index in enumerate(indices):
+            assert out[index] == values[position]
+
+    def test_builders_validate_lengths(self):
+        from repro.processor.stripmine import gather_program, vsum_program
+
+        with pytest.raises(ProgramError):
+            vsum_program(0, 16, 0, 1, 90000)
+        with pytest.raises(ProgramError):
+            gather_program(8, 0, 4096, 0, 1, 90000, 1)

@@ -1,0 +1,214 @@
+"""The ``ports`` axis on the scenario program path.
+
+Covers the declarative surface of the multi-port machine: the
+``memory.ports`` spec field (round-trip, validation, provenance of
+errors), grid sweeps over ports, the new occupancy extras and their
+direction-aware classification in ``scenario diff``, and the new
+reduction/gather/scatter program kinds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioGrid,
+    ScenarioSpec,
+    diff_results,
+    simulate,
+)
+from repro.scenarios.registry import PROGRAM, kinds
+
+
+def program_spec(kind, params, *, ports=1, drive_params=None, name=""):
+    return ScenarioSpec(
+        mapping=ComponentSpec.of("section-xor", t=3, s=4, y=9),
+        memory=MemorySpec(t=3, q=2, ports=ports),
+        program=ComponentSpec.of(kind, **params),
+        drive=ComponentSpec.of("decoupled", **(drive_params or {})),
+        name=name,
+    )
+
+
+class TestPortsSpecField:
+    def test_round_trip(self):
+        spec = program_spec("daxpy", {"n": 96}, ports=2)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.memory.ports == 2
+        assert json.loads(spec.to_json())["memory"]["ports"] == 2
+
+    def test_default_is_one(self):
+        data = {"t": 3}
+        assert MemorySpec.from_dict(data).ports == 1
+
+    def test_ports_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="'ports'"):
+            MemorySpec(t=3, ports=0)
+
+    def test_ports_must_be_integer(self):
+        with pytest.raises(ConfigurationError, match="'ports'"):
+            MemorySpec(t=3, ports="two")
+
+    def test_ports_exceeding_modules_names_the_field(self):
+        spec = program_spec("daxpy", {"n": 96}, ports=128)
+        with pytest.raises(ConfigurationError, match="memory.ports"):
+            simulate(spec)
+
+    def test_describe_mentions_ports_only_when_widened(self):
+        assert "ports" not in program_spec("daxpy", {"n": 8}).describe()
+        assert "ports=2" in program_spec("daxpy", {"n": 8}, ports=2).describe()
+
+
+class TestPortsOnTheProgramPath:
+    def test_ports_speed_up_daxpy(self):
+        totals = {}
+        for ports in (1, 2):
+            result = simulate(program_spec("daxpy", {"n": 128}, ports=ports))
+            extras = dict(result.extras)
+            assert extras["numerically_correct"] is True
+            assert extras["memory_ports"] == ports
+            totals[ports] = extras["total_cycles"]
+        assert totals[2] < totals[1]
+
+    def test_occupancy_extras_reported(self):
+        extras = dict(
+            simulate(program_spec("daxpy", {"n": 128}, ports=2)).extras
+        )
+        assert extras["memory_streams"] == 2
+        assert extras["stream_concurrency_peak"] == 2
+
+    def test_memory_streams_drive_override(self):
+        extras = dict(
+            simulate(
+                program_spec(
+                    "daxpy",
+                    {"n": 128},
+                    ports=1,
+                    drive_params={"memory_streams": 2},
+                )
+            ).extras
+        )
+        assert extras["memory_ports"] == 1
+        assert extras["memory_streams"] == 2
+        assert extras["stream_concurrency_peak"] == 2
+
+    def test_chaining_model_only_on_serial_unit(self):
+        chained = {"chaining": True}
+        serial = dict(
+            simulate(
+                program_spec("saxpy-chain", {"n": 96}, drive_params=chained)
+            ).extras
+        )
+        assert serial["chaining_model_applicable"] is True
+        widened = dict(
+            simulate(
+                program_spec(
+                    "saxpy-chain", {"n": 96}, ports=2, drive_params=chained
+                )
+            ).extras
+        )
+        assert widened["chaining_model_applicable"] is False
+        assert "chaining_speedup_model" not in widened
+
+    def test_timeline_rows_include_port_and_stream(self):
+        result = simulate(program_spec("daxpy", {"n": 128}, ports=2))
+        record = result.to_dict()
+        memory_rows = [
+            row for row in record["timeline"] if row["unit"] == "memory"
+        ]
+        assert {row["port"] for row in memory_rows} == {0, 1}
+        assert all("stream" in row for row in memory_rows)
+
+
+class TestPortsGrid:
+    def test_grid_sweeps_ports(self):
+        grid = ScenarioGrid.of(
+            program_spec("daxpy", {"n": 96}, name="sweep"),
+            memory__ports=(1, 2, 4),
+        )
+        specs = grid.expand()
+        assert [spec.memory.ports for spec in specs] == [1, 2, 4]
+        assert ScenarioGrid.from_json(grid.to_json()).expand() == specs
+
+    def test_committed_example_grid(self):
+        from pathlib import Path
+
+        from repro.scenarios import load_grid
+
+        text = Path("examples/scenario_ports_grid.json").read_text()
+        grid = load_grid(text)
+        assert [spec.memory.ports for spec in grid.expand()] == [1, 2, 4]
+
+
+class TestDiffClassification:
+    def test_lost_concurrency_is_a_regression(self):
+        wide = simulate(program_spec("daxpy", {"n": 128}, ports=2)).to_dict()
+        narrow = simulate(program_spec("daxpy", {"n": 128}, ports=1)).to_dict()
+        diff = diff_results(wide, narrow)
+        regressed = {entry.metric for entry in diff.regressions}
+        assert "extra:stream_concurrency_peak" in regressed
+        assert "extra:overlap_fraction" in regressed
+        # Port/stream *counts* are design choices, not regressions.
+        changed = {entry.metric for entry in diff.changes}
+        assert "extra:memory_ports" in changed
+        assert "extra:memory_streams" in changed
+
+    def test_gained_concurrency_is_an_improvement(self):
+        narrow = simulate(program_spec("daxpy", {"n": 128}, ports=1)).to_dict()
+        wide = simulate(program_spec("daxpy", {"n": 128}, ports=2)).to_dict()
+        diff = diff_results(narrow, wide)
+        improved = {entry.metric for entry in diff.improvements}
+        assert "extra:stream_concurrency_peak" in improved
+        assert not diff.has_regressions
+
+
+class TestNewProgramKinds:
+    def test_registered(self):
+        registered = kinds(PROGRAM)
+        for kind in ("vsum", "gather", "scatter"):
+            assert kind in registered
+
+    @pytest.mark.parametrize(
+        "kind,params",
+        [
+            ("vsum", {"n": 96}),
+            ("vsum", {"n": 200, "src_stride": 4}),
+            ("gather", {"n": 96}),
+            ("gather", {"n": 100, "table_size": 256, "seed": 3}),
+            ("scatter", {"n": 96}),
+            ("scatter", {"n": 150, "seed": 7}),
+        ],
+    )
+    def test_numerically_correct(self, kind, params):
+        extras = dict(simulate(program_spec(kind, params)).extras)
+        assert extras["numerically_correct"] is True
+
+    def test_vsum_strip_mines_past_register_length(self):
+        extras = dict(simulate(program_spec("vsum", {"n": 200})).extras)
+        # 200 elements over L=64 registers: 4 strips, each LOAD + VSUM
+        # (+ single-element accumulate), plus the final scalar store.
+        assert extras["memory_instructions"] == 5
+
+    def test_gather_table_must_cover_indices(self):
+        with pytest.raises(ConfigurationError, match="table_size"):
+            simulate(program_spec("gather", {"n": 96, "table_size": 8}))
+
+    def test_example_specs_run(self):
+        from pathlib import Path
+
+        from repro.scenarios import load_scenarios
+
+        for name in (
+            "scenario_vsum_program.json",
+            "scenario_gather_scatter_program.json",
+        ):
+            for spec in load_scenarios(
+                Path("examples", name).read_text()
+            ):
+                extras = dict(simulate(spec).extras)
+                assert extras["numerically_correct"] is True
