@@ -77,6 +77,30 @@ def test_kernel_two_streams_one_bus(benchmark):
     assert run.aggregate_elements == 256
 
 
+def test_kernel_two_streams_traced(benchmark):
+    """The same case with a live tracer: post-hoc event derivation only.
+
+    Compare against ``test_kernel_two_streams_one_bus`` to see the
+    tracing overhead; the disabled-tracing path must stay within noise
+    of the seed (the cycle loop is byte-identical either way).
+    """
+    from repro.obs import Tracer
+
+    config = MemoryConfig.matched(t=3, s=4, input_capacity=2)
+    planner = AccessPlanner(config.mapping, 3)
+    streams = [
+        planner.plan(VectorAccess(0, 12, 128)).request_stream(),
+        planner.plan(VectorAccess(1, 12, 128)).request_stream(),
+    ]
+
+    def run_traced():
+        kernel = MemoryKernel(config, tracer=Tracer())
+        return kernel.run(streams)
+
+    run = benchmark(run_traced)
+    assert run.aggregate_elements == 256
+
+
 def test_kernel_two_ports(benchmark):
     """Two section-disjoint streams over two address/result ports."""
     streams = [

@@ -2,13 +2,37 @@
 
 Every bench calls its experiment runner through pytest-benchmark (so the
 suite doubles as a performance regression harness), prints the regenerated
-table and asserts all paper-vs-measured checks.
+table and asserts all paper-vs-measured checks.  ``--benchmark-json``
+artifacts are stamped with a ``repro_meta`` block (git commit, package
+version, timestamp, source fingerprint) so ``repro lab history`` can
+order and attribute them across commits.
 """
 
 from __future__ import annotations
 
 from repro.report.experiments import ExperimentResult
 from repro.report.tables import render_table
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp the ``--benchmark-json`` artifact with run identity.
+
+    pytest-benchmark's own ``commit_info`` is best-effort (empty under
+    shallow CI checkouts); the ``repro_meta`` block is what
+    ``repro.obs.history`` keys bench ingestion on.
+    """
+    import time
+
+    import repro
+    from repro.lab.jobs import source_fingerprint
+    from repro.obs.history import current_git_commit
+
+    output_json["repro_meta"] = {
+        "git_commit": current_git_commit(),
+        "package_version": repro.__version__,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "source_fingerprint": source_fingerprint(),
+    }
 
 
 def report_and_assert(result: ExperimentResult) -> None:

@@ -56,6 +56,10 @@ Module map
   facade over all of the above and design-point diffing;
 * :mod:`repro.report` — experiment runners (E01..E16) and table/figure
   rendering;
+* :mod:`repro.obs` — observability: zero-cost-when-disabled cycle-level
+  tracing (``Tracer``, Chrome/Perfetto ``trace_event`` export) and the
+  cross-run :class:`~repro.obs.history.HistoryDB` metric index behind
+  ``repro lab history``;
 * :mod:`repro.lab` — parallel experiment orchestration with
   content-addressed result caching, cross-run diffing and pluggable
   execution backends (in-process, process pool, or a filesystem-spool
@@ -118,7 +122,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AccessPlan",

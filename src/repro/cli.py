@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro survey --t 3 --s 4 --max-stride 32
     repro scenario run examples/scenario_matched_stride12.json
     repro scenario run examples/scenario_daxpy_program.json
+    repro scenario run examples/scenario_daxpy_program.json --trace out.json
     repro scenario diff baseline.json candidate.json
     repro scenario list
     repro lab sweep examples/scenario_program_grid.json
@@ -19,7 +20,9 @@ Usage (also via ``python -m repro``)::
     repro lab merge /mnt/worker-host/.repro-lab
     repro lab diff 20260729T120000Z-aaaa 20260729T130000Z-bbbb
     repro lab status --json
-    repro lab index --verify
+    repro lab status --metrics
+    repro lab history --metric total_cycles --flag-regressions
+    repro lab index --verify --prune-stale
     repro lab summarize --output SUMMARY.md
 
 Every subcommand prints plain text; exit status is non-zero when an
@@ -276,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit the status as one JSON object instead of tables",
     )
+    lab_status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="show recent runs' batch metrics (cache-hit rate, queue "
+        "latency, backend counters) from their manifests",
+    )
 
     lab_summarize = lab_commands.add_parser(
         "summarize", help="render a Markdown summary of all cached results"
@@ -295,6 +304,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute stored config hashes instead and report drift "
         "(exit 1 on corrupt or mismatched artifacts)",
     )
+    lab_index.add_argument(
+        "--prune-stale",
+        action="store_true",
+        dest="prune_stale",
+        help="drop index rows whose artifact files were deleted "
+        "(combine with --verify to audit first)",
+    )
+
+    lab_history = lab_commands.add_parser(
+        "history",
+        help="cross-run metric trends from ingested manifests and "
+        "BENCH_*.json artifacts",
+    )
+    lab_history.add_argument(
+        "--metric",
+        default=None,
+        help="render this metric's trend (e.g. total_cycles, "
+        "elapsed_seconds, mean_seconds); omit to list known metrics",
+    )
+    lab_history.add_argument(
+        "--scenario",
+        default=None,
+        help="substring filter over scenario names and job ids",
+    )
+    lab_history.add_argument(
+        "--ingest",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="also ingest this manifest.json, run directory, lab root "
+        "or pytest-benchmark JSON (repeatable)",
+    )
+    lab_history.add_argument(
+        "--flag-regressions",
+        action="store_true",
+        dest="flag_regressions",
+        help="exit 1 when any series' latest point is worse than its "
+        "best-ever value beyond the tolerance",
+    )
+    lab_history.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative regression tolerance (default 0.05)",
+    )
+    lab_history.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        help="show only the newest N trend points",
+    )
+    lab_history.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit trend/regression data as one JSON object",
+    )
+    lab_history.add_argument(
+        "--db",
+        default=None,
+        help="history database path (default: <lab-root>/history.sqlite)",
+    )
+    lab_history.add_argument("--root", default=None, help=root_help)
 
     lab_diff = lab_commands.add_parser(
         "diff",
@@ -366,6 +438,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="with --lab: ignore the cache"
     )
     scenario_run.add_argument("--root", default=None, help=root_help)
+    scenario_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write a Chrome/Perfetto trace of each simulation "
+        "(multiple specs get -1, -2, ... suffixes); open in ui.perfetto.dev",
+    )
 
     scenario_commands.add_parser(
         "list",
@@ -596,11 +675,73 @@ def command_lab(args: argparse.Namespace) -> int:
     if args.lab_command == "status":
         import json as json_module
 
-        from repro.lab import status_payload
+        from repro.lab import recent_run_metrics, status_payload
 
         payload = status_payload(store, registry)
+        if args.metrics:
+            payload["run_metrics"] = recent_run_metrics(store)
         if args.as_json:
             print(json_module.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if args.metrics:
+            entries = payload["run_metrics"]
+            if not entries:
+                print(f"no run manifests under {store.runs_dir}")
+                return 0
+            print(f"lab root: {store.root}")
+            rows = []
+            for entry in entries:
+                metrics = entry["metrics"]
+                hit_rate = metrics.get("cache_hit_rate")
+                queue = metrics.get("queue_latency_mean_seconds")
+                rows.append(
+                    [
+                        entry["run_id"],
+                        entry["backend"] or "-",
+                        entry["job_count"],
+                        (
+                            f"{hit_rate:.0%}"
+                            if isinstance(hit_rate, (int, float))
+                            else "-"
+                        ),
+                        (
+                            f"{queue:.3f}s"
+                            if isinstance(queue, (int, float))
+                            else "-"
+                        ),
+                        f"{entry['elapsed_seconds']:.1f}s",
+                        entry["failures"],
+                    ]
+                )
+            print(
+                render_table(
+                    [
+                        "run",
+                        "backend",
+                        "jobs",
+                        "hit rate",
+                        "mean queue",
+                        "wall",
+                        "failed",
+                    ],
+                    rows,
+                )
+            )
+            extras = {
+                key: value
+                for entry in entries
+                for key, value in entry["metrics"].items()
+                if key.startswith(("spool_", "pool_"))
+            }
+            if extras:
+                newest = entries[0]["metrics"]
+                detail = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(newest.items())
+                    if key.startswith(("spool_", "pool_"))
+                )
+                if detail:
+                    print(f"newest run backend detail: {detail}")
             return 0
         rows = []
         for job in payload["jobs"]:
@@ -671,6 +812,9 @@ def command_lab(args: argparse.Namespace) -> int:
     if args.lab_command == "sweep":
         return _lab_sweep(args, store)
 
+    if args.lab_command == "history":
+        return _lab_history(args, store)
+
     if args.verify:
         report = store.verify()
         print(
@@ -683,7 +827,20 @@ def command_lab(args: argparse.Namespace) -> int:
         for label in ("stale", "mismatched", "corrupt", "unverifiable"):
             for address in report[label]:
                 print(f"  [{label}] {address}")
+        if args.prune_stale:
+            pruned = store.prune_stale_index()
+            print(f"pruned {len(pruned)} dangling index row(s)")
         return 1 if report["mismatched"] or report["corrupt"] else 0
+
+    if args.prune_stale:
+        pruned = store.prune_stale_index()
+        print(
+            f"pruned {len(pruned)} dangling index row(s) from "
+            f"{store.index_path}"
+        )
+        for address in pruned:
+            print(f"  [pruned] {address}")
+        return 0
 
     count = store.rebuild_index()
     print(f"indexed {count} artifacts into {store.index_path}")
@@ -778,6 +935,128 @@ def _lab_sweep(args: argparse.Namespace, store) -> int:
     return 0
 
 
+def _lab_history(args: argparse.Namespace, store) -> int:
+    """`repro lab history`: cross-run trends and regression gating.
+
+    Every invocation re-ingests the lab root's run manifests (ingestion
+    is idempotent), plus whatever ``--ingest`` paths name — bench JSON
+    artifacts, detached manifests, whole lab roots.  ``--metric``
+    renders the trend; ``--flag-regressions`` compares each series'
+    latest point against its best-ever value and exits 1 on slippage.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.obs.history import (
+        HISTORY_FILENAME,
+        HistoryDB,
+        metric_direction,
+    )
+
+    db = HistoryDB(Path(args.db) if args.db else store.root / HISTORY_FILENAME)
+    info = sys.stderr if args.as_json else sys.stdout
+    counts = db.ingest_store(store)
+    if counts["manifests"]:
+        print(
+            f"ingested {counts['manifests']} manifest(s) "
+            f"({counts['metrics']} metric points) from {store.runs_dir}",
+            file=info,
+        )
+    for target in args.ingest:
+        count = db.ingest_path(Path(target))
+        print(f"ingested {count} metric point(s) from {target}", file=info)
+
+    flagged: list[dict] = []
+    if args.flag_regressions:
+        flagged = db.flag_regressions(
+            metric=args.metric,
+            scenario=args.scenario,
+            tolerance=args.tolerance,
+        )
+
+    if args.as_json:
+        payload: dict = {"db": str(db.path)}
+        if args.metric:
+            payload["metric"] = args.metric
+            payload["direction"] = metric_direction(args.metric)
+            payload["points"] = db.trend(
+                args.metric, scenario=args.scenario, limit=args.limit
+            )
+        else:
+            payload["runs"] = db.runs()
+            payload["metrics"] = [
+                {"metric": name, "points": count}
+                for name, count in db.metric_names()
+            ]
+        if args.flag_regressions:
+            payload["regressions"] = flagged
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 1 if flagged else 0
+
+    if args.metric:
+        points = db.trend(
+            args.metric, scenario=args.scenario, limit=args.limit
+        )
+        if not points:
+            print(
+                f"no points for metric {args.metric!r}"
+                + (f" matching {args.scenario!r}" if args.scenario else "")
+                + f" in {db.path}",
+                file=sys.stderr,
+            )
+            return 0 if args.flag_regressions and not flagged else 2
+        direction = metric_direction(args.metric)
+        arrow = {"lower": "(lower is better)", "higher": "(higher is better)"}
+        print(
+            f"{args.metric} — {len(points)} point(s) "
+            f"{arrow.get(direction, '(direction unknown)')}"
+        )
+        print(
+            render_table(
+                ["when", "run", "job", "scenario", "commit", "value"],
+                [
+                    [
+                        point["created_at"] or "-",
+                        point["run_id"],
+                        point["job_id"],
+                        point["scenario"] or "-",
+                        (point["git_commit"] or "")[:10] or "-",
+                        point["value"],
+                    ]
+                    for point in points
+                ],
+            )
+        )
+    else:
+        runs = db.runs()
+        names = db.metric_names()
+        print(f"history db: {db.path}")
+        print(f"{len(runs)} run(s), {len(names)} distinct metric(s)")
+        if names:
+            print(
+                render_table(
+                    ["metric", "points"],
+                    [[name, count] for name, count in names],
+                )
+            )
+        print("pick one with --metric <name>")
+
+    if args.flag_regressions:
+        if flagged:
+            print(f"{len(flagged)} regression(s) flagged:", file=sys.stderr)
+            for entry in flagged:
+                print(
+                    f"  {entry['job_id']} {entry['metric']}: latest "
+                    f"{entry['latest']:g} vs best {entry['best']:g} "
+                    f"({entry['direction']} is better, "
+                    f"{entry['points']} points, run {entry['run_id']})",
+                    file=sys.stderr,
+                )
+            return 1
+        print("no regressions beyond tolerance")
+    return 0
+
+
 def _parse_param_overrides(items: list[str]) -> dict[str, dict]:
     """``JOB:KEY=VALUE`` strings to ``{job_id: {key: value}}``.
 
@@ -867,6 +1146,15 @@ def command_scenario(args: argparse.Namespace) -> int:
         print("no scenarios found in the given files", file=sys.stderr)
         return 2
 
+    if args.trace and args.lab:
+        print(
+            "--trace needs the in-process simulator; drop --lab "
+            "(lab jobs run in worker processes, which cannot stream "
+            "trace events back)",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.lab:
         from repro.lab import (
             ArtifactStore,
@@ -893,7 +1181,29 @@ def command_scenario(args: argparse.Namespace) -> int:
         print(f"manifest: {run_dir / 'manifest.json'}")
         return 1 if report.failures else 0
 
-    results = [(spec, simulate(spec)) for spec in specs]
+    if args.trace:
+        from repro.obs import Tracer, write_chrome_trace
+
+        trace_base = Path(args.trace)
+        info = sys.stderr if args.as_json else sys.stdout
+        results = []
+        for index, spec in enumerate(specs):
+            tracer = Tracer()
+            results.append((spec, simulate(spec, tracer=tracer)))
+            if len(specs) == 1:
+                target = trace_base
+            else:
+                target = trace_base.with_name(
+                    f"{trace_base.stem}-{index + 1}{trace_base.suffix}"
+                )
+            written = write_chrome_trace(tracer, target)
+            print(
+                f"trace: {written} ({len(tracer.events)} events, "
+                f"{spec.describe()})",
+                file=info,
+            )
+    else:
+        results = [(spec, simulate(spec)) for spec in specs]
     if args.as_json:
         import json
 

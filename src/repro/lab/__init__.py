@@ -106,6 +106,7 @@ from repro.lab.jobs import (
 )
 from repro.lab.manifest import (
     cached_records,
+    recent_run_metrics,
     render_experiments_markdown,
     render_lab_report,
     status_payload,
@@ -161,6 +162,7 @@ __all__ = [
     "experiment_spec",
     "job_from_json",
     "job_to_json",
+    "recent_run_metrics",
     "render_diff",
     "render_experiments_markdown",
     "render_lab_report",

@@ -115,6 +115,10 @@ class ProcessPoolBackend:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
 
+    def backend_metrics(self) -> dict:
+        """Pool sizing for the run manifest's metrics block."""
+        return {"pool_workers": self.workers or default_worker_count()}
+
     def run(
         self, pending: Sequence[JobSpec], *, run_id: str
     ) -> Iterator[tuple[JobSpec, dict | JobFailure]]:

@@ -70,11 +70,18 @@ class JobOutcome:
 
 @dataclass
 class ExecutionReport:
-    """Everything one batch produced, in deterministic job-id order."""
+    """Everything one batch produced, in deterministic job-id order.
+
+    ``metrics`` carries the batch-level observability record (cache-hit
+    rate, queue latencies, backend detail) that ``write_run_artifacts``
+    persists into manifest.json and ``repro lab status --metrics``
+    renders.
+    """
 
     run_id: str
     outcomes: list[JobOutcome] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    metrics: dict = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -137,8 +144,18 @@ def run_jobs(
         else:
             pending.append(spec)
 
+    # Queue latency per executed job: time from batch start to the
+    # completion landing back here, minus the job's own execution time
+    # — i.e. how long the job sat waiting for a worker (plus transport,
+    # for the spool backend).  Cached jobs never queue.
+    queue_latencies: list[float] = []
+
     def complete(spec: JobSpec, payload: dict) -> None:
         record = store.save(spec, payload, run_id=run_id, package_version=version)
+        turnaround = time.perf_counter() - started
+        queue_latencies.append(
+            max(0.0, turnaround - float(record.get("elapsed_seconds", 0.0)))
+        )
         outcomes[spec.job_id] = JobOutcome(spec, record, cached=False)
         emit(outcomes[spec.job_id])
 
@@ -167,6 +184,7 @@ def run_jobs(
             "run_id": run_id,
         }
         outcomes[spec.job_id] = JobOutcome(spec, record, cached=False)
+        queue_latencies.append(time.perf_counter() - started)
         emit(outcomes[spec.job_id])
 
     # Job-execution errors arrive as JobFailure completions and become
@@ -183,6 +201,13 @@ def run_jobs(
         run_id=run_id,
         outcomes=[outcomes[spec.job_id] for spec in ordered],
         elapsed_seconds=time.perf_counter() - started,
+        metrics=_batch_metrics(
+            executor,
+            job_count=len(ordered),
+            cache_hits=len(ordered) - len(pending),
+            wall_seconds=time.perf_counter() - started,
+            queue_latencies=queue_latencies,
+        ),
     )
     store.record_run(
         run_id,
@@ -193,3 +218,42 @@ def run_jobs(
         package_version=version,
     )
     return report
+
+
+def _batch_metrics(
+    executor: ExecutorBackend,
+    *,
+    job_count: int,
+    cache_hits: int,
+    wall_seconds: float,
+    queue_latencies: Sequence[float],
+) -> dict:
+    """The batch-level observability record stored in manifest.json.
+
+    Backends may expose a ``backend_metrics()`` method returning extra
+    JSON-safe counters (the spool backend reports published/requeued
+    jobs and worker activity); those merge in flat, prefixed by the
+    backend so keys never collide with the batch-level ones.
+    """
+    metrics: dict = {
+        "backend": getattr(executor, "name", "unknown"),
+        "jobs": job_count,
+        "cache_hits": cache_hits,
+        "executed": job_count - cache_hits,
+        "cache_hit_rate": (cache_hits / job_count) if job_count else 0.0,
+        "wall_seconds": wall_seconds,
+        "queue_latency_mean_seconds": (
+            sum(queue_latencies) / len(queue_latencies)
+            if queue_latencies
+            else 0.0
+        ),
+        "queue_latency_max_seconds": (
+            max(queue_latencies) if queue_latencies else 0.0
+        ),
+    }
+    detail = getattr(executor, "backend_metrics", None)
+    if callable(detail):
+        extra = detail()
+        if isinstance(extra, dict):
+            metrics.update(extra)
+    return metrics

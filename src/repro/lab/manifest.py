@@ -111,11 +111,15 @@ def write_run_artifacts(
     run_dir.mkdir(parents=True, exist_ok=True)
     import repro
     from repro.lab.store import _utc_now
+    from repro.obs.history import current_git_commit
 
     manifest = {
         "run_id": report.run_id,
         "created_at": _utc_now(),
         "package_version": repro.__version__,
+        "git_commit": current_git_commit(),
+        "backend": report.metrics.get("backend", ""),
+        "metrics": report.metrics,
         "job_count": len(report.outcomes),
         "cache_hits": report.cache_hits,
         "executed": report.executed,
@@ -148,6 +152,43 @@ def write_run_artifacts(
         render_lab_report(report.outcomes, report.run_id)
     )
     return run_dir
+
+
+def recent_run_metrics(store: ArtifactStore, limit: int = 10) -> list[dict]:
+    """The newest runs' manifest metrics, newest first.
+
+    Backs ``repro lab status --metrics``: each entry is one run's
+    identity plus the batch metrics block ``run_jobs`` recorded
+    (cache-hit rate, queue latencies, backend counters).  Manifests
+    written before the metrics block existed appear with an empty
+    ``metrics`` dict rather than being skipped, so the recent-run
+    window stays honest.
+    """
+    if not store.runs_dir.is_dir():
+        return []
+    entries: list[dict] = []
+    for path in store.runs_dir.glob("*/manifest.json"):
+        try:
+            manifest = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            continue
+        if not isinstance(manifest, dict) or "run_id" not in manifest:
+            continue
+        metrics = manifest.get("metrics")
+        entries.append(
+            {
+                "run_id": manifest["run_id"],
+                "created_at": manifest.get("created_at", ""),
+                "backend": manifest.get("backend", ""),
+                "git_commit": manifest.get("git_commit", ""),
+                "job_count": manifest.get("job_count", 0),
+                "failures": len(manifest.get("failures", [])),
+                "elapsed_seconds": manifest.get("elapsed_seconds", 0.0),
+                "metrics": metrics if isinstance(metrics, dict) else {},
+            }
+        )
+    entries.sort(key=lambda e: (e["created_at"], e["run_id"]), reverse=True)
+    return entries[:limit]
 
 
 def cached_records(

@@ -280,6 +280,27 @@ class SpoolBackend:
         self.participate = participate
         self.timeout = timeout
         self.announce = announce
+        self._published = 0
+        self._requeued = 0
+        self._self_executed = 0
+        self._workers: set[str] = set()
+        self._heartbeats = 0
+
+    def backend_metrics(self) -> dict:
+        """Spool-protocol counters for the run manifest's metrics block.
+
+        Reflects the most recent :meth:`run`: jobs published, stale
+        claims requeued, distinct ``host:pid`` workers that returned
+        results (the coordinator counts as one when participating), and
+        total claim heartbeats observed.
+        """
+        return {
+            "spool_published": self._published,
+            "spool_requeued": self._requeued,
+            "spool_self_executed": self._self_executed,
+            "spool_workers": len(self._workers),
+            "spool_worker_heartbeats": self._heartbeats,
+        }
 
     def run(
         self, pending: Sequence[JobSpec], *, run_id: str
@@ -287,6 +308,9 @@ class SpoolBackend:
         spool = SpoolRun(self.spool_dir / run_id)
         spool.create()
         published = spool.publish(pending)
+        self._published = len(published)
+        self._requeued = self._self_executed = self._heartbeats = 0
+        self._workers = set()
         if self.announce is not None:
             self.announce(
                 f"spooled {len(published)} job(s) under {spool.root}; "
@@ -299,6 +323,7 @@ class SpoolBackend:
                 progressed = False
                 for name, body in spool.collect(seen):
                     seen.add(name)
+                    self._note_worker(body)
                     spec = published.get(name)
                     if spec is None:
                         continue  # a file this batch never published
@@ -306,11 +331,12 @@ class SpoolBackend:
                     yield spec, _completion(body)
                 if progressed:
                     continue
-                spool.requeue_stale(self.stale_after)
+                self._requeued += len(spool.requeue_stale(self.stale_after))
                 if self.participate:
                     claim = claim_next(spool.root)
                     if claim is not None:
                         execute_claim(spool.root, claim)
+                        self._self_executed += 1
                         continue
                 if (
                     self.timeout is not None
@@ -333,6 +359,18 @@ class SpoolBackend:
             # Every result is collected; the spool run is spent state.
             spool.destroy()
 
+    def _note_worker(self, body: dict | None) -> None:
+        """Accumulate the worker stamp a done-file body carries."""
+        if not isinstance(body, dict):
+            return
+        info = body.get("worker")
+        if not isinstance(info, dict):
+            return
+        self._workers.add(f"{info.get('host', '?')}:{info.get('pid', '?')}")
+        beats = info.get("heartbeats")
+        if isinstance(beats, int) and beats > 0:
+            self._heartbeats += beats
+
 
 def _completion(body: dict | None) -> dict | JobFailure:
     """One done-file body to the backend completion contract."""
@@ -349,14 +387,30 @@ def _completion(body: dict | None) -> dict | JobFailure:
 # -- worker side ----------------------------------------------------------
 
 
+def _hostname() -> str:
+    """This host's name, best effort (spools may span machines)."""
+    import socket
+
+    try:
+        return socket.gethostname()
+    except OSError:
+        return "unknown"
+
+
 class _Heartbeat:
-    """Touch a claim file periodically so the coordinator sees us alive."""
+    """Touch a claim file periodically so the coordinator sees us alive.
+
+    ``count`` records how many beats landed — the worker stamps it into
+    its done file so the coordinator's metrics can tell a quick job
+    (zero beats) from one that held a claim through several intervals.
+    """
 
     def __init__(self, path: Path, interval: float):
         self._path = path
         self._interval = interval
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
+        self.count = 0
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
@@ -364,6 +418,8 @@ class _Heartbeat:
                 os.utime(self._path)
             except OSError:
                 pass  # requeued or already collected; the done write decides
+            else:
+                self.count += 1
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -425,7 +481,7 @@ def execute_claim(
         except OSError:
             pass
         return None
-    with _Heartbeat(claim, heartbeat):
+    with _Heartbeat(claim, heartbeat) as beats:
         try:
             payload = execute_job(spec)
         except Exception as error:
@@ -435,6 +491,13 @@ def execute_claim(
             }
         else:
             body = {"job_id": spec.job_id, "payload": payload}
+    # Who served this job, and how long it held the claim (in beats):
+    # the coordinator folds these into the run's backend metrics.
+    body["worker"] = {
+        "pid": os.getpid(),
+        "host": _hostname(),
+        "heartbeats": beats.count,
+    }
     try:
         _atomic_write(run_root / DONE_DIR / claim.name, canonical_json(body))
     except OSError:

@@ -313,6 +313,31 @@ class ArtifactStore:
                 )
         return len(records)
 
+    def prune_stale_index(self) -> list[str]:
+        """Drop index rows whose artifact files no longer exist.
+
+        Artifacts deleted by hand (or lost to a partial sync) leave
+        dangling ``results`` rows behind; ``repro lab index --verify
+        --prune-stale`` calls this to make the index honest again.
+        Returns the pruned config hashes.
+        """
+        if not self.index_path.is_file():
+            return []
+        with closing(self._connect()) as connection, connection:
+            rows = connection.execute(
+                "SELECT config_hash FROM results"
+            ).fetchall()
+            stale = [
+                address
+                for (address,) in rows
+                if not self.artifact_path(address).is_file()
+            ]
+            connection.executemany(
+                "DELETE FROM results WHERE config_hash = ?",
+                [(address,) for address in stale],
+            )
+        return stale
+
     # -- merge + verify --------------------------------------------------
 
     def merge(self, other: "ArtifactStore") -> dict:

@@ -56,6 +56,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.memory.arbiter import ResultArbiter
 from repro.memory.config import MemoryConfig
 from repro.memory.module import InFlightRequest
+from repro.obs.tracer import resolve_tracer
 
 #: Issue policies for streams sharing one port.
 ISSUE_POLICIES = ("round_robin", "priority")
@@ -70,13 +71,17 @@ class KernelStream:
     ``stores`` lists stream positions that are store operations.
     ``port`` binds the stream to an address/result bus pair; ``None``
     means automatic round-robin binding (stream ``i`` -> port
-    ``i % ports``).
+    ``i % ports``).  ``start_cycle`` staggers injection: the stream is
+    invisible to its port until that kernel-relative cycle (default 1,
+    i.e. eligible from the first cycle) — cycles spent waiting for the
+    start are deliberate delay, not issue stalls.
     """
 
     name: str
     requests: tuple[tuple[int, int], ...]
     stores: frozenset[int] = frozenset()
     port: int | None = None
+    start_cycle: int = 1
 
     @classmethod
     def of(
@@ -85,8 +90,9 @@ class KernelStream:
         requests: Sequence[tuple[int, int]],
         stores: Sequence[int] = (),
         port: int | None = None,
+        start_cycle: int = 1,
     ) -> "KernelStream":
-        return cls(name, tuple(requests), frozenset(stores), port)
+        return cls(name, tuple(requests), frozenset(stores), port, start_cycle)
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,7 @@ class StreamRun:
     issue_stall_cycles: int
     requests: tuple[InFlightRequest, ...]
     module_request_counts: tuple[int, ...]
+    start_cycle: int = 1
 
     @property
     def element_count(self) -> int:
@@ -177,6 +184,11 @@ class MemoryKernel:
         Optional custom :class:`~repro.memory.arbiter.ResultArbiter`.
         ``None`` selects the built-in oldest-first (FIFO) grant, which
         also enables the event-skip fast path.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  Events are derived
+        *after* the cycle loop from the per-request timing records the
+        kernel materialises anyway, so the hot loop is identical with
+        tracing on or off and a ``None``/null tracer costs nothing.
     """
 
     def __init__(
@@ -186,6 +198,7 @@ class MemoryKernel:
         ports: int | None = None,
         policy: str = "round_robin",
         arbiter: ResultArbiter | None = None,
+        tracer=None,
     ):
         resolved_ports = config.ports if ports is None else ports
         if not isinstance(resolved_ports, int) or isinstance(
@@ -211,6 +224,7 @@ class MemoryKernel:
         self.ports = resolved_ports
         self.policy = policy
         self.arbiter = arbiter
+        self.tracer = resolve_tracer(tracer)
 
     # -- public API -----------------------------------------------------
 
@@ -249,6 +263,18 @@ class MemoryKernel:
                 raise ConfigurationError(
                     f"stream {stream.name!r} field 'port' must be in "
                     f"[0, {self.ports}), got {stream.port}"
+                )
+            if not isinstance(stream.start_cycle, int) or isinstance(
+                stream.start_cycle, bool
+            ):
+                raise ConfigurationError(
+                    f"stream {stream.name!r} field 'start_cycle' must be "
+                    f"an integer, got {stream.start_cycle!r}"
+                )
+            if stream.start_cycle < 1:
+                raise ConfigurationError(
+                    f"stream {stream.name!r} field 'start_cycle' must be "
+                    f">= 1, got {stream.start_cycle}"
                 )
         return normalised
 
@@ -308,6 +334,7 @@ class MemoryKernel:
         for index, port in enumerate(port_of):
             port_members[port].append(index)
         stream_len = [len(rids) for rids in stream_rids]
+        starts = [stream.start_cycle for stream in kernel_streams]
         cursors = [0] * stream_count
         stalls = [0] * stream_count
         first_issue = [0] * stream_count
@@ -319,7 +346,7 @@ class MemoryKernel:
         bus_busy = 0
         bus_held = False
         cycle = 0
-        guard = (total + 2) * (service_time + 2) + 64
+        guard = (total + 2) * (service_time + 2) + 64 + max(starts) - 1
         # Custom arbiters may carry state across grants, so the
         # event-skip fast-forward (which elides whole no-op cycles) is
         # only safe with the built-in FIFO grant.
@@ -342,7 +369,9 @@ class MemoryKernel:
             for port in range(ports):
                 members = port_members[port]
                 candidates = [
-                    s for s in members if cursors[s] < stream_len[s]
+                    s
+                    for s in members
+                    if cursors[s] < stream_len[s] and starts[s] <= cycle
                 ]
                 if not candidates:
                     continue
@@ -470,6 +499,14 @@ class MemoryKernel:
                         ready = out_q[m][0][0]
                         if cycle < ready < next_event:
                             next_event = ready
+                # A stream still waiting for its staggered start is the
+                # next event when nothing else is scheduled sooner.
+                for s in range(stream_count):
+                    if (
+                        cursors[s] < stream_len[s]
+                        and cycle < starts[s] < next_event
+                    ):
+                        next_event = starts[s]
                 jump = next_event - cycle - 1
                 if jump > 0:
                     for port in range(ports):
@@ -477,6 +514,7 @@ class MemoryKernel:
                             s
                             for s in port_members[port]
                             if cursors[s] < stream_len[s]
+                            and starts[s] <= cycle
                         ]
                         if not blocked:
                             continue
@@ -518,6 +556,7 @@ class MemoryKernel:
                     issue_stall_cycles=stalls[s_index],
                     requests=tuple(requests),
                     module_request_counts=tuple(counts),
+                    start_cycle=stream.start_cycle,
                 )
             )
         # Every request is serviced for exactly ``T`` cycles, so busy
@@ -527,7 +566,7 @@ class MemoryKernel:
             * sum(run.module_request_counts[m] for run in stream_runs)
             for m in range(module_count)
         )
-        return KernelRun(
+        run = KernelRun(
             streams=tuple(stream_runs),
             total_cycles=cycle,
             ports=ports,
@@ -536,6 +575,75 @@ class MemoryKernel:
             module_busy_cycles=busy,
             port_issue_cycles=tuple(port_issues),
         )
+        if self.tracer.enabled:
+            self._emit_trace(run)
+        return run
+
+    # -- trace emission -------------------------------------------------
+
+    def _emit_trace(self, run: KernelRun) -> None:
+        """Derive module/port/stream events from the finished run.
+
+        Runs only when tracing is enabled; everything is read off the
+        materialised :class:`InFlightRequest` records, so it adds zero
+        work to the cycle loop.  Tracks follow the ``group/lane``
+        convention of :mod:`repro.obs.tracer`: ``streams/<name>`` spans
+        the stream's active window, ``memory/module <m>`` spans each
+        request's service occupancy, ``ports/port <p>`` carries issue
+        and delivery instants, and ``memory/in flight`` samples the
+        number of outstanding requests.
+        """
+        tracer = self.tracer
+        deltas: list[tuple[int, int]] = []
+        for stream in run.streams:
+            tracer.span(
+                f"streams/{stream.name}",
+                f"{stream.name} ({stream.element_count} elem)",
+                stream.first_issue_cycle,
+                stream.last_delivery_cycle,
+                port=stream.port,
+                start_cycle=stream.start_cycle,
+                issue_stalls=stream.issue_stall_cycles,
+                conflict_free=stream.conflict_free,
+            )
+            for request in stream.requests:
+                tracer.span(
+                    f"memory/module {request.module}",
+                    f"{stream.name}[{request.element_index}]",
+                    request.start_cycle,
+                    request.finish_cycle,
+                    address=request.address,
+                    store=request.is_store,
+                    waited=request.waited,
+                )
+                tracer.instant(
+                    f"ports/port {stream.port}",
+                    "issue",
+                    request.issue_cycle,
+                    stream=stream.name,
+                    element=request.element_index,
+                )
+                tracer.instant(
+                    f"ports/port {stream.port}",
+                    "deliver",
+                    request.delivery_cycle,
+                    stream=stream.name,
+                    element=request.element_index,
+                )
+                deltas.append((request.issue_cycle, 1))
+                deltas.append((request.delivery_cycle, -1))
+        deltas.sort()
+        level = 0
+        previous: int | None = None
+        for at_cycle, delta in deltas:
+            if previous is not None and at_cycle != previous:
+                tracer.counter(
+                    "memory/in flight", "in_flight", previous, level
+                )
+            level += delta
+            previous = at_cycle
+        if previous is not None:
+            tracer.counter("memory/in flight", "in_flight", previous, level)
 
 
 class _ModuleShim:

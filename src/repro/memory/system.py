@@ -129,24 +129,29 @@ class MemorySystem:
         self.config = config
         self.arbiter = arbiter
 
-    def run_plan(self, plan: AccessPlan) -> AccessResult:
+    def run_plan(self, plan: AccessPlan, *, tracer=None) -> AccessResult:
         """Simulate an :class:`~repro.core.planner.AccessPlan` (or any
         object with a ``request_stream()`` method)."""
-        return self.run_stream(plan.request_stream())
+        return self.run_stream(plan.request_stream(), tracer=tracer)
 
     def run_stream(
-        self, stream: Sequence[tuple[int, int]], stores: Iterable[int] = ()
+        self,
+        stream: Sequence[tuple[int, int]],
+        stores: Iterable[int] = (),
+        *,
+        tracer=None,
     ) -> AccessResult:
         """Simulate a stream of ``(element_index, address)`` requests.
 
         ``stores`` optionally lists stream positions that are store
         operations; stores follow the same request path (the paper's
         module timing applies to loads and stores alike) and their
-        "result" models the store acknowledgement.
+        "result" models the store acknowledgement.  ``tracer`` is
+        forwarded to the kernel for cycle-level event emission.
         """
         if not stream:
             raise SimulationError("cannot simulate an empty request stream")
-        kernel = MemoryKernel(self.config, arbiter=self.arbiter)
+        kernel = MemoryKernel(self.config, arbiter=self.arbiter, tracer=tracer)
         run = kernel.run([KernelStream.of("access", stream, stores=stores)])
         result = run.streams[0]
         return AccessResult(

@@ -51,6 +51,7 @@ from repro.memory.config import MemoryConfig
 from repro.memory.kernel import KernelStream, MemoryKernel
 from repro.memory.storage import MemoryStore
 from repro.memory.system import MemorySystem, access_result_from_run
+from repro.obs.tracer import resolve_tracer
 from repro.processor.isa import (
     VBinary,
     VGather,
@@ -165,6 +166,12 @@ class DecoupledVectorMachine:
         unit sustains.  ``None`` (the default) tracks the memory's port
         count, so the classic single-port machine serialises accesses
         exactly as before.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  Instruction spans
+        land on the ``machine/memory`` and ``machine/execute`` tracks
+        (matching the timeline rows cycle for cycle); each memory
+        batch's kernel-level events are emitted at absolute program
+        cycles via a shifted sub-tracer.
     """
 
     def __init__(
@@ -177,6 +184,7 @@ class DecoupledVectorMachine:
         plan_mode: PlanMode = "auto",
         gather_mode: IndexedMode = "scheduled",
         memory_streams: int | None = None,
+        tracer=None,
     ):
         if register_length < 1:
             raise ProgramError(
@@ -205,6 +213,7 @@ class DecoupledVectorMachine:
         self.memory_streams = (
             memory_streams if memory_streams is not None else config.ports
         )
+        self.tracer = resolve_tracer(tracer)
         self.planner = AccessPlanner(config.mapping, config.t)
         self.memory = MemorySystem(config)
         self.store = MemoryStore(config.mapping)
@@ -445,12 +454,18 @@ class DecoupledVectorMachine:
         Returns the cycle the memory unit frees (all streams drained).
         """
         offset = batch_start - 1
+        # Kernel events from this batch land at absolute program cycles
+        # (the batch's own clock starts at 1); a null tracer shifts to
+        # itself, so the untraced path is unchanged.
+        batch_tracer = self.tracer.shifted(offset)
         if len(batch) == 1:
             member = batch[0]
-            result = self.memory.run_stream(member.stream, stores=member.stores)
+            result = self.memory.run_stream(
+                member.stream, stores=member.stores, tracer=batch_tracer
+            )
             outcomes = [(member, result, result.latency, 0, 0)]
         else:
-            kernel = MemoryKernel(self.config)
+            kernel = MemoryKernel(self.config, tracer=batch_tracer)
             run = kernel.run(
                 [
                     KernelStream.of(
@@ -510,6 +525,18 @@ class DecoupledVectorMachine:
                 port=port,
                 stream=slot,
             )
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "machine/memory",
+                    f"{member.instruction.mnemonic} @{member.position}",
+                    batch_start,
+                    end,
+                    position=member.position,
+                    mode=member.plan.scheme,
+                    conflict_free=result.conflict_free,
+                    port=port,
+                    stream=slot,
+                )
         return unit_free
 
     # -- execute unit ---------------------------------------------------
@@ -559,6 +586,15 @@ class DecoupledVectorMachine:
         self._apply_values(instruction, length)
         register_ready[instruction.writes()[0]] = end
         load_records.pop(instruction.writes()[0], None)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "machine/execute",
+                f"{instruction.mnemonic} @{position}",
+                start,
+                end,
+                position=position,
+                mode=mode,
+            )
         return (
             InstructionTiming(
                 position, instruction.mnemonic, "execute", start, end, mode

@@ -115,6 +115,7 @@ class ProgramEngine:
         plan_mode: PlanMode = "auto",
         gather_mode: IndexedMode = "scheduled",
         memory_streams: int | None = None,
+        tracer=None,
     ):
         self.config = config
         self.register_length = register_length
@@ -124,6 +125,7 @@ class ProgramEngine:
         self.plan_mode: PlanMode = plan_mode
         self.gather_mode: IndexedMode = gather_mode
         self.memory_streams = memory_streams
+        self.tracer = tracer
 
     def build_machine(self) -> DecoupledVectorMachine:
         return DecoupledVectorMachine(
@@ -135,6 +137,7 @@ class ProgramEngine:
             plan_mode=self.plan_mode,
             gather_mode=self.gather_mode,
             memory_streams=self.memory_streams,
+            tracer=self.tracer,
         )
 
     def run(
@@ -209,7 +212,12 @@ class ProgramEngine:
         return decoupled.total_cycles / chained.total_cycles
 
     def _variant(self, *, chaining: bool) -> "ProgramEngine":
-        """This design point with only the chaining switch changed."""
+        """This design point with only the chaining switch changed.
+
+        Deliberately untraced: variants are shadow runs (the chaining-
+        speedup baseline), and their events would overlay the primary
+        run's timeline.
+        """
         return ProgramEngine(
             self.config,
             self.register_length,

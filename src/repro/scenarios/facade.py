@@ -37,6 +37,7 @@ from repro.mappings.base import AddressMapping
 from repro.mappings.dynamic import DynamicSchemeSelector
 from repro.memory.config import MemoryConfig
 from repro.memory.system import AccessResult, MemorySystem
+from repro.obs.tracer import resolve_tracer
 from repro.scenarios import components as _components  # registers kinds
 from repro.scenarios.components import (
     DecoupledDrive,
@@ -256,8 +257,16 @@ def build_machine(
     return config, planner, MemorySystem(config)
 
 
-def simulate(spec: ScenarioSpec) -> ScenarioResult:
-    """Run one scenario end to end and normalise its metrics."""
+def simulate(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
+    """Run one scenario end to end and normalise its metrics.
+
+    ``tracer`` (an :class:`repro.obs.tracer.Tracer`) collects the
+    cycle-level event timeline of whichever drive runs — kernel
+    module/port/stream events for the access-driven paths, plus
+    machine-unit instruction spans for the program paths — for export
+    as Chrome trace JSON (``repro scenario run --trace``).
+    """
+    tracer = resolve_tracer(tracer)
     drive = build(DRIVE, spec.drive)
     if spec.program is not None:
         if not isinstance(drive, DecoupledDrive):
@@ -265,15 +274,19 @@ def simulate(spec: ScenarioSpec) -> ScenarioResult:
                 f"scenario programs run on the decoupled machine; set "
                 f"drive kind to 'decoupled' (got {spec.drive.kind!r})"
             )
-        return _simulate_program(spec, build_config(spec), drive)
+        return _simulate_program(spec, build_config(spec), drive, tracer)
     workload = build_workload(spec)
     config, planner, system = build_machine(spec, workload)
     if isinstance(drive, PlannerDrive):
-        return _simulate_planner(spec, workload, config, planner, system, drive)
+        return _simulate_planner(
+            spec, workload, config, planner, system, drive, tracer
+        )
     if isinstance(drive, Figure6Drive):
-        return _simulate_figure6(spec, workload, config, planner, system)
+        return _simulate_figure6(
+            spec, workload, config, planner, system, tracer
+        )
     if isinstance(drive, DecoupledDrive):
-        return _simulate_decoupled(spec, workload, config, drive)
+        return _simulate_decoupled(spec, workload, config, drive, tracer)
     raise ConfigurationError(  # pragma: no cover - registry emits the three
         f"drive kind {spec.drive.kind!r} returned an unknown descriptor"
     )
@@ -329,8 +342,14 @@ def _simulate_planner(
     planner: AccessPlanner,
     system: MemorySystem,
     drive: PlannerDrive,
+    tracer=None,
 ) -> ScenarioResult:
+    tracer = resolve_tracer(tracer)
     runs: list[tuple[str, AccessResult]] = []
+    # Accesses run back to back, so each one's kernel events are shifted
+    # by the latency accumulated before it — the exported timeline shows
+    # the workload as one continuous run.
+    offset = 0
     for access in workload.accesses():
         if isinstance(access, IndexedAccess):
             plan = plan_indexed(
@@ -338,7 +357,9 @@ def _simulate_planner(
             )
         else:
             plan = planner.plan(access, mode=drive.mode)
-        runs.append((plan.scheme, system.run_plan(plan)))
+        run = system.run_plan(plan, tracer=tracer.shifted(offset))
+        offset += run.latency
+        runs.append((plan.scheme, run))
     return _aggregate(spec, config, runs)
 
 
@@ -348,12 +369,13 @@ def _simulate_figure6(
     config: MemoryConfig,
     planner: AccessPlanner,
     system: MemorySystem,
+    tracer=None,
 ) -> ScenarioResult:
     from repro.hardware.oos_engine import Figure6Engine
 
     vector = workload.single_vector()
     engine = Figure6Engine(planner, vector)
-    run = system.run_stream(engine.request_stream())
+    run = system.run_stream(engine.request_stream(), tracer=tracer)
     report = engine.report()
     extras = (
         ("latch_peak_occupancy", report.latch_peak_occupancy),
@@ -368,6 +390,7 @@ def _simulate_decoupled(
     workload: Workload,
     config: MemoryConfig,
     drive: DecoupledDrive,
+    tracer=None,
 ) -> ScenarioResult:
     from repro.processor.engine import ProgramEngine, single_load_program
 
@@ -385,6 +408,7 @@ def _simulate_decoupled(
         chaining=drive.chaining,
         plan_mode=drive.plan_mode,  # type: ignore[arg-type]
         memory_streams=drive.memory_streams,
+        tracer=tracer,
     )
     # The implicit program: one VLOAD (plus a dependent VADD when
     # chaining, which makes the chained overlap observable).
@@ -411,7 +435,10 @@ def _simulate_decoupled(
 
 
 def _simulate_program(
-    spec: ScenarioSpec, config: MemoryConfig, drive: DecoupledDrive
+    spec: ScenarioSpec,
+    config: MemoryConfig,
+    drive: DecoupledDrive,
+    tracer=None,
 ) -> ScenarioResult:
     """Run a whole-program scenario through the :class:`ProgramEngine`.
 
@@ -442,6 +469,7 @@ def _simulate_program(
         chaining=drive.chaining,
         plan_mode=drive.plan_mode,  # type: ignore[arg-type]
         memory_streams=drive.memory_streams,
+        tracer=tracer,
     )
     run = engine.run(
         scenario_program.program,

@@ -1,0 +1,112 @@
+"""Staggered stream injection: ``KernelStream.start_cycle`` semantics.
+
+A stream with ``start_cycle=c`` is invisible to its port before
+kernel-relative cycle ``c``; waiting for the start is deliberate delay,
+not an issue stall.  The defining equivalence: delaying a solo stream
+by ``d`` cycles shifts its whole timing profile by exactly ``d``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.planner import AccessPlanner
+from repro.core.vector import VectorAccess
+from repro.memory.config import MemoryConfig
+from repro.memory.kernel import KernelStream, MemoryKernel
+
+CONFIG = MemoryConfig.matched(t=3, s=4, input_capacity=2)
+PLANNER = AccessPlanner(CONFIG.mapping, 3)
+
+
+def requests(base: int = 0, stride: int = 12, length: int = 32):
+    return PLANNER.plan(VectorAccess(base, stride, length)).request_stream()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_start_cycle_must_be_at_least_one(self, bad):
+        stream = KernelStream.of("a", requests(), start_cycle=bad)
+        with pytest.raises(ConfigurationError, match="start_cycle"):
+            MemoryKernel(CONFIG).run([stream])
+
+    @pytest.mark.parametrize("bad", [True, 1.5, "2", None])
+    def test_start_cycle_must_be_an_integer(self, bad):
+        stream = KernelStream(
+            "a", tuple(requests()), frozenset(), None, bad
+        )
+        with pytest.raises(ConfigurationError, match="start_cycle"):
+            MemoryKernel(CONFIG).run([stream])
+
+
+class TestSemantics:
+    def test_default_is_cycle_one(self):
+        assert KernelStream.of("a", requests()).start_cycle == 1
+        run = MemoryKernel(CONFIG).run([KernelStream.of("a", requests())])
+        assert run.streams[0].start_cycle == 1
+
+    def test_explicit_cycle_one_matches_default(self):
+        plain = MemoryKernel(CONFIG).run([KernelStream.of("a", requests())])
+        explicit = MemoryKernel(CONFIG).run(
+            [KernelStream.of("a", requests(), start_cycle=1)]
+        )
+        assert explicit == plain
+
+    @pytest.mark.parametrize("delay", [5, 17, 64])
+    def test_solo_stream_shifts_rigidly(self, delay):
+        base = MemoryKernel(CONFIG).run([KernelStream.of("a", requests())])
+        late = MemoryKernel(CONFIG).run(
+            [KernelStream.of("a", requests(), start_cycle=1 + delay)]
+        )
+        a, b = base.streams[0], late.streams[0]
+        assert b.first_issue_cycle == a.first_issue_cycle + delay
+        assert b.last_delivery_cycle == a.last_delivery_cycle + delay
+        assert b.issue_stall_cycles == a.issue_stall_cycles
+        assert late.total_cycles == base.total_cycles + delay
+        for before, after in zip(a.requests, b.requests):
+            assert after.issue_cycle == before.issue_cycle + delay
+            assert after.start_cycle == before.start_cycle + delay
+            assert after.delivery_cycle == before.delivery_cycle + delay
+
+    def test_waiting_for_start_is_not_an_issue_stall(self):
+        late = MemoryKernel(CONFIG).run(
+            [KernelStream.of("a", requests(), start_cycle=40)]
+        )
+        stream = late.streams[0]
+        assert stream.first_issue_cycle >= 40
+        # A solo conflict-free stream stalls as little delayed as not.
+        base = MemoryKernel(CONFIG).run([KernelStream.of("a", requests())])
+        assert stream.issue_stall_cycles == base.streams[0].issue_stall_cycles
+
+    def test_stagger_can_dodge_port_interleave(self):
+        # Two streams sharing one port: started together they interleave
+        # on the shared address bus; starting "b" after "a" finishes
+        # must leave "a" exactly as if it ran alone.
+        solo = MemoryKernel(CONFIG).run(
+            [KernelStream.of("a", requests(0), port=0)]
+        )
+        handoff = solo.streams[0].last_delivery_cycle + 1
+        run = MemoryKernel(CONFIG).run(
+            [
+                KernelStream.of("a", requests(0), port=0),
+                KernelStream.of(
+                    "b", requests(1), port=0, start_cycle=handoff
+                ),
+            ]
+        )
+        assert run.streams[0] == solo.streams[0]
+        assert run.streams[1].first_issue_cycle >= handoff
+
+    def test_staggered_streams_still_deliver_everything(self):
+        run = MemoryKernel(CONFIG).run(
+            [
+                KernelStream.of("a", requests(0)),
+                KernelStream.of("b", requests(1), start_cycle=9),
+                KernelStream.of("c", requests(2), start_cycle=23),
+            ]
+        )
+        assert run.aggregate_elements == 3 * 32
+        for stream in run.streams:
+            assert stream.element_count == 32
+            assert stream.first_issue_cycle >= stream.start_cycle

@@ -1,0 +1,156 @@
+"""Unit tests for the tracing core: event collection, shifting, export.
+
+The tracer's contract has three legs — a live :class:`Tracer` collects
+cycle-stamped tuples, the :data:`NULL_TRACER` collects nothing at zero
+cost, and :func:`chrome_trace_events` turns collected events into
+schema-valid Chrome ``trace_event`` dicts (groups -> processes, lanes
+-> threads).  Each leg is pinned here in isolation; the simulators'
+emission is covered by ``test_kernel_trace.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace_events,
+    resolve_tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import KIND_COUNTER, KIND_INSTANT, KIND_SPAN
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.span("memory/module 0", "req", 1, 4, address=7)
+        NULL_TRACER.instant("ports/port 0", "issue", 3)
+        NULL_TRACER.counter("memory/in flight", "in flight", 2, 5)
+        assert not hasattr(NULL_TRACER, "events")
+
+    def test_shifted_is_itself(self):
+        assert NULL_TRACER.shifted(10) is NULL_TRACER
+
+    def test_resolve_tracer(self):
+        assert resolve_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+        assert isinstance(resolve_tracer(None), NullTracer)
+
+
+class TestTracer:
+    def test_collects_event_tuples(self):
+        tracer = Tracer()
+        assert tracer.enabled is True
+        tracer.span("memory/module 1", "elem 0", 2, 9, address=12)
+        tracer.instant("ports/port 0", "issue", 1, stream="a")
+        tracer.counter("memory/in flight", "in flight", 3, 2)
+        kinds = [event[0] for event in tracer.events]
+        assert kinds == [KIND_SPAN, KIND_INSTANT, KIND_COUNTER]
+        span = tracer.events[0]
+        assert span[1:5] == ("memory/module 1", "elem 0", 2, 9)
+        assert span[5] == {"address": 12}
+
+    def test_domain_kwargs_do_not_collide_with_positionals(self):
+        # Emitters pass start_cycle= through **args; the positional
+        # parameters are deliberately named begin/end/at to allow it.
+        tracer = Tracer()
+        tracer.span("streams/a", "a", 1, 5, start_cycle=1, end_cycle=5)
+        assert tracer.events[0][5] == {"start_cycle": 1, "end_cycle": 5}
+
+    def test_spans_and_instants_filter_by_prefix(self):
+        tracer = Tracer()
+        tracer.span("memory/module 0", "x", 1, 2)
+        tracer.span("machine/execute", "y", 3, 4)
+        tracer.instant("ports/port 0", "issue", 1)
+        assert len(tracer.spans()) == 2
+        assert len(tracer.spans("memory/")) == 1
+        assert len(tracer.instants("ports/")) == 1
+
+    def test_shifted_offsets_every_kind(self):
+        tracer = Tracer()
+        shifted = tracer.shifted(100)
+        shifted.span("a/b", "s", 1, 4)
+        shifted.instant("a/b", "i", 2)
+        shifted.counter("a/b", "c", 3, 9)
+        assert [event[3] for event in tracer.events] == [101, 102, 103]
+        assert tracer.events[0][4] == 104
+
+    def test_shifted_zero_is_identity(self):
+        tracer = Tracer()
+        assert tracer.shifted(0) is tracer
+
+    def test_shifted_composes(self):
+        tracer = Tracer()
+        double = tracer.shifted(10).shifted(5)
+        double.span("a/b", "s", 1, 1)
+        assert tracer.events[0][3] == 16
+        assert double.shifted(0) is double
+
+
+class TestChromeExport:
+    def build(self):
+        tracer = Tracer()
+        tracer.span("memory/module 0", "elem 0", 2, 9, address=12)
+        tracer.span("memory/module 1", "elem 1", 3, 10)
+        tracer.instant("ports/port 0", "issue", 1)
+        tracer.counter("memory/in flight", "in flight", 2, 1)
+        return tracer
+
+    def test_metadata_announces_processes_and_threads(self):
+        events = chrome_trace_events(self.build())
+        meta = [event for event in events if event["ph"] == "M"]
+        process_names = {
+            event["args"]["name"]
+            for event in meta
+            if event["name"] == "process_name"
+        }
+        thread_names = {
+            event["args"]["name"]
+            for event in meta
+            if event["name"] == "thread_name"
+        }
+        assert process_names == {"memory", "ports"}
+        assert {"module 0", "module 1", "port 0", "in flight"} <= thread_names
+
+    def test_lanes_of_one_group_share_a_pid(self):
+        events = chrome_trace_events(self.build())
+        spans = [event for event in events if event["ph"] == "X"]
+        assert len(spans) == 2
+        assert spans[0]["pid"] == spans[1]["pid"]
+        assert spans[0]["tid"] != spans[1]["tid"]
+
+    def test_span_duration_covers_closed_interval(self):
+        events = chrome_trace_events(self.build())
+        span = next(event for event in events if event["ph"] == "X")
+        assert span["ts"] == 2
+        assert span["dur"] == 8  # cycles 2..9 inclusive
+        assert span["args"] == {"address": 12}
+
+    def test_instants_and_counters(self):
+        events = chrome_trace_events(self.build())
+        instant = next(event for event in events if event["ph"] == "i")
+        assert instant["s"] == "t" and instant["ts"] == 1
+        counter = next(event for event in events if event["ph"] == "C")
+        assert counter["args"] == {"in flight": 1}
+
+    def test_every_event_is_json_safe(self):
+        payload = to_chrome_trace(self.build())
+        text = json.dumps(payload)
+        assert json.loads(text)["traceEvents"]
+
+    def test_write_chrome_trace_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "trace.json"
+        written = write_chrome_trace(self.build(), target)
+        assert written == target
+        data = json.loads(target.read_text())
+        assert {event["ph"] for event in data["traceEvents"]} == {
+            "M",
+            "X",
+            "i",
+            "C",
+        }
