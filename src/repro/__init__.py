@@ -65,6 +65,9 @@ Module map
   execution backends (in-process, process pool, or a filesystem-spool
   sharding protocol served by ``repro lab worker`` processes on any
   host; detached stores fold back via ``repro lab merge``);
+* :mod:`repro.serve` — the persistent HTTP experiment service behind
+  ``repro lab serve``: submit scenario specs/grids over HTTP, poll
+  runs, fetch any cached result by config hash with strong ETags;
 * :mod:`repro.cli` — the ``repro`` command line
   (``plan``/``window``/``experiments``/``survey``/``run``/
   ``scenario``/``lab``).
@@ -122,7 +125,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AccessPlan",

@@ -17,6 +17,8 @@ Usage (also via ``python -m repro``)::
     repro lab run --ids E03 --param E03:lambda_exponent=8
     repro lab run --all --backend spool       # + `repro lab worker` shards
     repro lab worker .repro-lab/spool --max-idle 60
+    repro lab worker .repro-lab/spool --max-jobs 6   # bounded, for CI
+    repro lab serve --port 8642 --backend spool      # HTTP front door
     repro lab merge /mnt/worker-host/.repro-lab
     repro lab diff 20260729T120000Z-aaaa 20260729T130000Z-bbbb
     repro lab status --json
@@ -258,6 +260,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="drain what is claimable right now, then exit",
     )
+    lab_worker.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        dest="max_jobs",
+        help="exit after executing this many jobs (a deterministic "
+        "bound for tests and CI)",
+    )
+
+    lab_serve = lab_commands.add_parser(
+        "serve",
+        help="persistent HTTP experiment service: POST scenario specs, "
+        "poll runs, fetch cached results by config hash",
+    )
+    lab_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    lab_serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (default 8642; 0 picks a free one)",
+    )
+    lab_serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=2,
+        help="submission batches executed concurrently (default 2)",
+    )
+    lab_serve.add_argument("--root", default=None, help=root_help)
+    _add_backend_options(lab_serve)
 
     lab_merge = lab_commands.add_parser(
         "merge",
@@ -597,6 +632,9 @@ def command_lab(args: argparse.Namespace) -> int:
         # them into its store.
         return _lab_worker(args)
 
+    if args.lab_command == "serve":
+        return _lab_serve(args)
+
     store = ArtifactStore(args.root or default_lab_root())
     registry = build_registry()
 
@@ -861,6 +899,7 @@ def _lab_worker(args: argparse.Namespace) -> int:
         spool_dir,
         poll=args.poll,
         max_idle=args.max_idle,
+        max_jobs=args.max_jobs,
         once=args.once,
         progress=print,
     )
@@ -869,6 +908,32 @@ def _lab_worker(args: argparse.Namespace) -> int:
         f"{stats.skipped} claim(s) skipped"
     )
     return 0
+
+
+def _lab_serve(args: argparse.Namespace) -> int:
+    """`repro lab serve`: the persistent HTTP front door to the lab."""
+    from repro.lab import ArtifactStore, default_lab_root
+    from repro.serve import ServeApp, run_until_signalled
+
+    store = ArtifactStore(args.root or default_lab_root())
+
+    def backend_factory():
+        # A fresh backend per batch: SpoolBackend carries per-run
+        # mutable counters, so concurrent batches must not share one.
+        return _build_backend(args, store)
+
+    def log(message: str) -> None:
+        print(message, flush=True)
+
+    app = ServeApp(
+        store,
+        host=args.host,
+        port=args.port,
+        backend_factory=backend_factory,
+        queue_workers=args.jobs,
+        access_log=log,
+    )
+    return run_until_signalled(app, log=log)
 
 
 def _lab_sweep(args: argparse.Namespace, store) -> int:

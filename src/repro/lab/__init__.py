@@ -82,6 +82,7 @@ from repro.lab.diffing import (
 from repro.lab.executor import (
     ExecutionReport,
     JobOutcome,
+    new_run_id,
     run_jobs,
 )
 from repro.lab.hashing import (
@@ -162,6 +163,7 @@ __all__ = [
     "experiment_spec",
     "job_from_json",
     "job_to_json",
+    "new_run_id",
     "recent_run_metrics",
     "render_diff",
     "render_experiments_markdown",

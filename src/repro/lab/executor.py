@@ -37,13 +37,20 @@ __all__ = [
     "ExecutionReport",
     "JobOutcome",
     "default_worker_count",
+    "new_run_id",
     "run_jobs",
 ]
 
 
-def _new_run_id() -> str:
+def new_run_id() -> str:
     """Timestamp + PID + random suffix: collision-free even when several
-    coordinators (e.g. spool workers' own labs) start in the same second."""
+    coordinators (e.g. spool workers' own labs) start in the same second.
+
+    Public because submit-without-block front ends (``repro lab
+    serve``) must name a run *before* executing it: they allocate the
+    id here, hand it back to the client immediately, and pass it into
+    :func:`run_jobs` via ``run_id=`` when the batch actually runs.
+    """
     return (
         time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
         + f"-p{os.getpid()}-"
@@ -108,6 +115,7 @@ def run_jobs(
     force: bool = False,
     progress: Callable[[str], None] | None = None,
     backend: str | ExecutorBackend | None = None,
+    run_id: str | None = None,
 ) -> ExecutionReport:
     """Execute a batch, reusing cached artifacts unless ``force``.
 
@@ -116,11 +124,14 @@ def run_jobs(
     instance.  ``workers`` configures the pool backend (``None`` means
     one per CPU) and is ignored by backends that don't pool.
     ``progress`` receives one human-readable line per completed job.
+    ``run_id`` lets a caller that already promised an id (the HTTP
+    service returns one at submit time) execute under it; ``None``
+    allocates a fresh one.
     """
     executor = resolve_backend(backend, store=store, workers=workers)
     ordered = sorted(specs, key=lambda spec: spec.job_id)
     version = repro.__version__
-    run_id = _new_run_id()
+    run_id = run_id or new_run_id()
     started = time.perf_counter()
 
     def emit(outcome: JobOutcome) -> None:

@@ -541,6 +541,7 @@ def serve(
     *,
     poll: float = 0.2,
     max_idle: float | None = None,
+    max_jobs: int | None = None,
     once: bool = False,
     heartbeat: float = DEFAULT_HEARTBEAT,
     progress: Callable[[str], None] | None = None,
@@ -553,13 +554,15 @@ def serve(
     clean spool means "waiting for the next batch" and the worker keeps
     serving batch after batch.  The loop exits after ``max_idle``
     seconds without claimable work, with ``once`` as soon as one full
-    scan finds nothing to claim, when a ``STOP`` file appears in the
-    spool directory (``touch <spool-dir>/STOP`` drains and stops every
-    worker gracefully), or when the only runs left are abandoned
-    (closed but never destroyed: a crashed or timed-out coordinator
-    nobody will collect for).  A spool directory that does not exist
-    yet is simply polled into existence (workers routinely start
-    before their coordinator).
+    scan finds nothing to claim, after ``max_jobs`` executed jobs (a
+    deterministic bound for tests and CI — no reliance on idle
+    timing), when a ``STOP`` file appears in the spool directory
+    (``touch <spool-dir>/STOP`` drains and stops every worker
+    gracefully), or when the only runs left are abandoned (closed but
+    never destroyed: a crashed or timed-out coordinator nobody will
+    collect for).  A spool directory that does not exist yet is simply
+    polled into existence (workers routinely start before their
+    coordinator).
     """
     spool = Path(spool_dir)
     stats = WorkerStats()
@@ -579,6 +582,8 @@ def serve(
             stats.executed += 1
             if progress is not None:
                 progress(f"worker: executed {job_id} ({run_root.name})")
+            if max_jobs is not None and stats.executed >= max_jobs:
+                return stats
         if worked:
             idle_since = time.monotonic()
             continue

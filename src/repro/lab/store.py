@@ -130,6 +130,25 @@ class ArtifactStore:
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             return None
 
+    def artifact_bytes(self, config_hash: str) -> bytes | None:
+        """The artifact's raw canonical-JSON bytes, or None on miss.
+
+        What ``repro lab serve`` returns from ``GET /v1/results/<hash>``:
+        the stored file is already canonical JSON, so serving it
+        byte-for-byte keeps the strong ETag (the config hash) honest —
+        no re-serialization that could reorder keys between requests.
+        Corrupt artifacts count as misses, exactly like :meth:`load`.
+        """
+        path = self.artifact_path(config_hash)
+        if not path.is_file():
+            return None
+        try:
+            raw = path.read_bytes()
+            json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None
+        return raw
+
     def save(
         self,
         spec: JobSpec,

@@ -267,6 +267,13 @@ class HistoryDB:
                         created,
                     )
                 )
+        # Manifests written outside a git checkout (tarball installs,
+        # detached workers) carry a null/missing git_commit; the runs
+        # table column is NOT NULL, so stamp "unknown" and keep the row
+        # rather than crashing the whole ingest.
+        commit = manifest.get("git_commit")
+        if not isinstance(commit, str) or not commit:
+            commit = "unknown"
         with closing(self._connect()) as connection, connection:
             connection.execute(
                 "INSERT OR REPLACE INTO runs (run_id, created_at, kind, "
@@ -275,7 +282,7 @@ class HistoryDB:
                 (
                     run_id,
                     created,
-                    manifest.get("git_commit", ""),
+                    commit,
                     manifest.get("package_version", ""),
                     fingerprint,
                     backend,

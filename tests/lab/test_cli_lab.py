@@ -291,6 +291,27 @@ class TestLabWorkerCli:
         assert main(["lab", "worker", str(tmp_path / "spool"), "--once"]) == 0
         assert "0 job(s) executed" in capsys.readouterr().out
 
+    def test_max_jobs_bounds_the_worker(self, tmp_path, capsys):
+        from repro.lab import SpoolRun, build_registry
+
+        registry = build_registry()
+        spool = SpoolRun(tmp_path / "spool" / "run-1")
+        spool.create()
+        spool.publish([registry["E01"], registry["E02"]])
+        code = main(
+            ["lab", "worker", str(tmp_path / "spool"),
+             "--max-jobs", "1", "--poll", "0.01"]
+        )
+        assert code == 0
+        assert "1 job(s) executed" in capsys.readouterr().out
+        # One job left for the next bounded worker.
+        assert len(list(spool.pending_dir.glob("*.json"))) == 1
+
+    def test_max_jobs_rejects_zero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lab", "worker", "spool", "--max-jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
 
 class TestLabMergeCli:
     def test_merge_missing_root_exits_two(self, tmp_path, capsys):

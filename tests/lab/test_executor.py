@@ -146,6 +146,22 @@ class TestRunIds:
         }
         assert len(ids) == 3
 
+    def test_caller_supplied_run_id_is_honoured(self, tmp_path):
+        """Submit-without-block front ends name the run before executing."""
+        from repro.lab.executor import new_run_id
+
+        store = ArtifactStore(tmp_path / "lab")
+        promised = new_run_id()
+        report = run_jobs(
+            fast_specs()[:1],
+            store=store,
+            backend="serial",
+            run_id=promised,
+        )
+        assert report.run_id == promised
+        assert report.outcomes[0].record["run_id"] == promised
+        assert promised in {row["run_id"] for row in store.runs()}
+
 
 class TestBackendParameter:
     def test_serial_backend_by_name(self, tmp_path):

@@ -342,6 +342,29 @@ class TestWorkers:
         assert stats.executed == 0
         assert time.monotonic() - started < 5
 
+    def test_serve_max_jobs_is_a_deterministic_bound(self, tmp_path):
+        """`--max-jobs N` exits after exactly N executions, mid-run."""
+        spool = SpoolRun(tmp_path / "spool" / "run-1")
+        spool.create()
+        spool.publish(fast_specs()[:3])
+        stats = serve(tmp_path / "spool", poll=0.01, max_jobs=2)
+        assert stats.executed == 2
+        # The third job is still claimable for the next worker.
+        assert len(list(spool.pending_dir.glob("*.json"))) == 1
+        assert len(list(spool.done_dir.glob("*.json"))) == 2
+
+    def test_serve_max_jobs_beats_the_idle_timeout(self, tmp_path):
+        """The bound fires on the Nth execution, not on going idle."""
+        spool = SpoolRun(tmp_path / "spool" / "run-1")
+        spool.create()
+        spool.publish(fast_specs()[:2])
+        stats = serve(
+            tmp_path / "spool", poll=0.01, max_idle=120, max_jobs=2
+        )
+        # With pending work exhausted exactly at the bound, the worker
+        # exits immediately instead of idling out the 120 seconds.
+        assert stats.executed == 2
+
     def test_worker_reports_failures_via_done_files(self, tmp_path, monkeypatch):
         from repro.report.experiments import ALL_EXPERIMENTS
 

@@ -135,6 +135,29 @@ class TestArtifactStore:
         assert store.rebuild_index() == 0
 
 
+class TestArtifactBytes:
+    def test_raw_bytes_match_the_stored_file(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        record = store.save(
+            SPEC, PAYLOAD, run_id="r1", package_version="1.0.0"
+        )
+        config_hash = record["config_hash"]
+        raw = store.artifact_bytes(config_hash)
+        assert raw == store.artifact_path(config_hash).read_bytes()
+        assert json.loads(raw) == record
+
+    def test_miss_and_corrupt_artifact_are_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lab")
+        assert store.artifact_bytes("f" * 64) is None
+        record = store.save(
+            SPEC, PAYLOAD, run_id="r1", package_version="1.0.0"
+        )
+        path = store.artifact_path(record["config_hash"])
+        path.write_text("{truncated")
+        # Corrupt bytes are never served as a cached result.
+        assert store.artifact_bytes(record["config_hash"]) is None
+
+
 class TestAtomicSave:
     def test_save_leaves_no_temp_files(self, tmp_path):
         store = ArtifactStore(tmp_path / "lab")

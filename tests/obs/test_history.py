@@ -161,6 +161,50 @@ class TestIngestStore:
         assert db.trend("latency", limit=1) == points[-1:]
 
 
+class TestCommitStamping:
+    """Manifests from outside a git checkout must still ingest.
+
+    A tarball install (or a detached worker host) writes manifests
+    whose ``git_commit`` is missing, empty, or JSON ``null``; the runs
+    table column is NOT NULL, so ingest stamps ``"unknown"`` and keeps
+    the row instead of crashing.
+    """
+
+    @pytest.mark.parametrize("commit", [None, "", 0], ids=["null", "empty", "nonstr"])
+    def test_unstamped_manifest_ingests_as_unknown(self, tmp_path, commit):
+        manifest = fake_manifest("r-unstamped", "2026-08-07T00:00:00Z", 1.5)
+        manifest["git_commit"] = commit
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        db = HistoryDB(tmp_path / HISTORY_FILENAME)
+        assert db.ingest_manifest(path) > 0
+        [run] = db.runs()
+        assert run["run_id"] == "r-unstamped"
+        assert run["git_commit"] == "unknown"
+        [point] = db.trend("elapsed_seconds")
+        assert point["value"] == 1.5
+
+    def test_missing_key_also_ingests_as_unknown(self, tmp_path):
+        manifest = fake_manifest("r-nokey", "2026-08-07T00:00:00Z", 2.0)
+        assert "git_commit" not in manifest
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        db = HistoryDB(tmp_path / HISTORY_FILENAME)
+        db.ingest_manifest(path)
+        [run] = db.runs()
+        assert run["git_commit"] == "unknown"
+
+    def test_stamped_manifest_keeps_its_commit(self, tmp_path):
+        manifest = fake_manifest("r-stamped", "2026-08-07T00:00:00Z", 1.0)
+        manifest["git_commit"] = "feedc0ffee"
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        db = HistoryDB(tmp_path / HISTORY_FILENAME)
+        db.ingest_manifest(path)
+        [run] = db.runs()
+        assert run["git_commit"] == "feedc0ffee"
+
+
 class TestIngestBench:
     def test_bench_rows_and_meta_stamp(self, tmp_path):
         bench = tmp_path / "BENCH_demo.json"

@@ -1,0 +1,1 @@
+"""Package marker so the serve tests can share conftest helpers."""

@@ -1,0 +1,95 @@
+"""Shared serve-test fixtures: an in-process app on an ephemeral port.
+
+The app runs the real ``ThreadingHTTPServer`` bound to 127.0.0.1:0 with
+the serial backend, so every test exercises the genuine HTTP transport
+(status lines, headers, conditional GET) without ports, subprocesses,
+or timing assumptions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.lab.store import ArtifactStore
+from repro.serve import ServeApp
+
+#: A tiny single design point (milliseconds to simulate).
+SPEC = {
+    "name": "serve-test",
+    "mapping": {"kind": "matched-xor", "params": {"t": 3, "s": 4}},
+    "memory": {"t": 3},
+    "workload": {
+        "kind": "strided",
+        "params": {"base": 16, "stride": 12, "length": 128},
+    },
+}
+
+
+class Client:
+    """One-connection-per-request HTTP client around ``http.client``."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    def request(self, method, path, *, body=None, headers=None):
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body)
+        conn = HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, dict(response.getheaders()), data
+        finally:
+            conn.close()
+
+    def get(self, path, *, headers=None):
+        return self.request("GET", path, headers=headers)
+
+    def get_json(self, path):
+        status, _, body = self.get(path)
+        return status, json.loads(body)
+
+    def post_json(self, path, payload):
+        status, headers, body = self.request("POST", path, body=payload)
+        return status, headers, json.loads(body)
+
+    def wait_done(self, run_id, *, timeout=60.0):
+        """Poll the run until it leaves the queue; returns its final body."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, body = self.get_json(f"/v1/runs/{run_id}")
+            assert status == 200
+            if body["state"] in ("done", "failed"):
+                return body
+            time.sleep(0.02)
+        raise AssertionError(f"run {run_id} still {body['state']} after {timeout}s")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "lab")
+
+
+@pytest.fixture
+def app(store):
+    served = ServeApp(
+        store,
+        port=0,
+        backend_factory=lambda: "serial",
+        queue_workers=2,
+        access_log=None,
+    )
+    served.start()
+    yield served
+    served.stop()
+
+
+@pytest.fixture
+def client(app) -> Client:
+    return Client(app.host, app.port)

@@ -1,0 +1,134 @@
+"""Duplicate-submission collapsing: identical in-flight batches
+simulate once.
+
+The queue keys on the batch *signature* — the sorted tuple of config
+hashes — so any two submissions naming the same set of design points
+collapse, regardless of job order or arrival thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.queue import DONE, Submission, SubmissionQueue
+
+from .conftest import SPEC
+
+
+def make_submission(run_id: str, signature=("h1", "h2")) -> Submission:
+    return Submission(
+        run_id=run_id,
+        jobs=[],
+        hashes={},
+        signature=tuple(signature),
+        created_at="2026-08-07T00:00:00Z",
+    )
+
+
+class TestQueueCollapse:
+    def test_follower_waits_for_its_leader(self):
+        release = threading.Event()
+        running = []
+        lock = threading.Lock()
+        overlapped = []
+
+        def runner(submission):
+            with lock:
+                running.append(submission.run_id)
+                if len(running) > 1:
+                    overlapped.append(tuple(running))
+            release.wait(timeout=30)
+            with lock:
+                running.remove(submission.run_id)
+
+        queue = SubmissionQueue(runner, workers=4)
+        leader = make_submission("leader")
+        follower = make_submission("follower")
+        queue.submit(leader)
+        queue.submit(follower)
+        assert follower.follows == "leader"
+        assert leader.follows is None
+        release.set()
+        queue.close(drain=True)
+        assert leader.state == DONE
+        assert follower.state == DONE
+        # Never concurrent: the follower only started after the leader
+        # finished, despite 4 free pool slots.
+        assert overlapped == []
+
+    def test_different_signatures_do_not_collapse(self):
+        def runner(submission):
+            pass
+
+        queue = SubmissionQueue(runner, workers=2)
+        first = make_submission("a", signature=("x",))
+        second = make_submission("b", signature=("y",))
+        queue.submit(first)
+        queue.submit(second)
+        queue.close(drain=True)
+        assert second.follows is None
+
+    def test_finished_leader_is_not_followed(self):
+        def runner(submission):
+            pass
+
+        queue = SubmissionQueue(runner, workers=1)
+        first = make_submission("a")
+        queue.submit(first)
+        first.finished.wait(timeout=30)
+        second = make_submission("b")
+        queue.submit(second)
+        queue.close(drain=True)
+        # The leader was already done; the second run leads its own
+        # (trivially cached) batch instead of queuing behind history.
+        assert second.follows is None
+
+    def test_runner_exception_becomes_failed_state(self):
+        def runner(submission):
+            raise ValueError("boom")
+
+        queue = SubmissionQueue(runner, workers=1)
+        submission = make_submission("a")
+        queue.submit(submission)
+        queue.close(drain=True)
+        assert submission.state == "failed"
+        assert submission.error == "ValueError: boom"
+
+
+class TestHTTPCollapse:
+    def test_concurrent_identical_posts_simulate_once(self, client):
+        run_ids = []
+        lock = threading.Lock()
+
+        def post():
+            _, _, body = client.post_json("/v1/runs", SPEC)
+            with lock:
+                run_ids.append(body["run_id"])
+
+        threads = [threading.Thread(target=post) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(run_ids)) == 8  # every client got its own run
+
+        for run_id in run_ids:
+            done = client.wait_done(run_id)
+            assert done["state"] == "done"
+            assert done["all_passed"] is True
+
+        # However the 8 interleaved, the simulator ran exactly once.
+        _, metrics = client.get_json("/v1/metrics")
+        assert metrics["counters"]["jobs_executed"] == 1
+        assert metrics["counters"]["job_cache_hits"] == 7
+        assert metrics["counters"]["runs_completed"] == 8
+
+    def test_deduplicated_runs_name_their_leader(self, client):
+        _, _, first = client.post_json("/v1/runs", SPEC)
+        # Submit the duplicate while the first may still be in flight;
+        # whether it collapsed or just cache-hit, it must finish clean.
+        _, _, second = client.post_json("/v1/runs", SPEC)
+        if "deduplicated_with" in second:
+            assert second["deduplicated_with"] == first["run_id"]
+        done = client.wait_done(second["run_id"])
+        assert done["state"] == "done"

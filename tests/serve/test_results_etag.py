@@ -1,0 +1,103 @@
+"""Conditional GET over the content-addressed result store.
+
+The config hash is the strong ETag by construction — same hash, same
+bytes, forever — so revalidation is exact and ``304`` responses carry
+zero body bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .conftest import SPEC
+
+
+def submit_and_wait(client):
+    _, _, body = client.post_json("/v1/runs", SPEC)
+    client.wait_done(body["run_id"])
+    return body["jobs"][0]["config_hash"]
+
+
+class TestResultFetch:
+    def test_fresh_fetch_carries_strong_etag(self, client):
+        config_hash = submit_and_wait(client)
+        status, headers, body = client.get(f"/v1/results/{config_hash}")
+        assert status == 200
+        assert headers["ETag"] == f'"{config_hash}"'
+        assert "immutable" in headers["Cache-Control"]
+        record = json.loads(body)
+        assert record["config_hash"] == config_hash
+        assert record["all_passed"] is True
+
+    def test_if_none_match_round_trip_is_304_with_empty_body(self, client):
+        config_hash = submit_and_wait(client)
+        _, headers, first = client.get(f"/v1/results/{config_hash}")
+        status, headers2, body = client.get(
+            f"/v1/results/{config_hash}",
+            headers={"If-None-Match": headers["ETag"]},
+        )
+        assert status == 304
+        assert body == b""
+        assert headers2["ETag"] == headers["ETag"]
+
+    def test_bare_and_weak_validators_also_match(self, client):
+        config_hash = submit_and_wait(client)
+        for validator in (
+            config_hash,  # unquoted, as shell one-liners send it
+            f'W/"{config_hash}"',
+            '"other", "%s"' % config_hash,
+            "*",
+        ):
+            status, _, body = client.get(
+                f"/v1/results/{config_hash}",
+                headers={"If-None-Match": validator},
+            )
+            assert status == 304, validator
+            assert body == b""
+
+    def test_stale_validator_still_gets_the_body(self, client):
+        config_hash = submit_and_wait(client)
+        status, _, body = client.get(
+            f"/v1/results/{config_hash}",
+            headers={"If-None-Match": '"' + "0" * 64 + '"'},
+        )
+        assert status == 200
+        assert body
+
+    def test_unknown_hash_is_404(self, client):
+        status, body = client.get_json("/v1/results/" + "f" * 64)
+        assert status == 404
+        assert body["error"].startswith("NotFoundError: ")
+
+    def test_not_modified_counted_in_metrics(self, client):
+        config_hash = submit_and_wait(client)
+        client.get(f"/v1/results/{config_hash}")
+        client.get(
+            f"/v1/results/{config_hash}",
+            headers={"If-None-Match": f'"{config_hash}"'},
+        )
+        _, metrics = client.get_json("/v1/metrics")
+        assert metrics["counters"]["results_served"] == 1
+        assert metrics["counters"]["results_not_modified"] == 1
+
+
+class TestCacheSemantics:
+    def test_resubmitting_a_cached_spec_never_simulates(self, client):
+        first_hash = submit_and_wait(client)
+        _, _, body = client.post_json("/v1/runs", SPEC)
+        done = client.wait_done(body["run_id"])
+        assert done["executed"] == 0
+        assert done["cache_hits"] == 1
+        assert done["metrics"]["cache_hit_rate"] == 1.0
+        assert done["jobs"][0]["cached"] is True
+        assert done["jobs"][0]["config_hash"] == first_hash
+        _, metrics = client.get_json("/v1/metrics")
+        assert metrics["counters"]["jobs_executed"] == 1
+        assert metrics["counters"]["job_cache_hits"] == 1
+        assert metrics["cache_hit_rate"] == 0.5
+
+    def test_result_bytes_are_stable_across_fetches(self, client):
+        config_hash = submit_and_wait(client)
+        _, _, first = client.get(f"/v1/results/{config_hash}")
+        _, _, second = client.get(f"/v1/results/{config_hash}")
+        assert first == second

@@ -1,0 +1,119 @@
+"""Service-layer unit tests, no HTTP socket involved."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.errors import (
+    BadRequestError,
+    NotFoundError,
+    ServiceUnavailableError,
+    error_payload,
+    error_status,
+)
+from repro.serve.schemas import parse_run_request
+from repro.serve.service import LabService
+
+from .conftest import SPEC
+
+
+def make_service(store):
+    return LabService(store, backend_factory=lambda: "serial")
+
+
+def wait_runs(service):
+    for submission in list(service._runs.values()):
+        submission.finished.wait(timeout=60)
+
+
+class TestSubmit:
+    def test_submit_returns_immediately_with_addresses(self, store):
+        service = make_service(store)
+        try:
+            payload = service.submit(json.dumps(SPEC).encode())
+            assert payload["job_count"] == 1
+            assert payload["jobs"][0]["config_hash"]
+            wait_runs(service)
+            final = service.run_status(payload["run_id"])
+            assert final["state"] == "done"
+        finally:
+            service.close()
+
+    def test_identical_design_points_in_one_request_run_once(self, store):
+        service = make_service(store)
+        try:
+            body = json.dumps([SPEC, SPEC]).encode()
+            payload = service.submit(body)
+            # Same spec twice is one job, not a duplicated simulation.
+            assert payload["job_count"] == 1
+            wait_runs(service)
+            assert service.run_status(payload["run_id"])["state"] == "done"
+        finally:
+            service.close()
+
+    def test_submit_after_close_is_503(self, store):
+        service = make_service(store)
+        service.close()
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            service.submit(json.dumps(SPEC).encode())
+        assert error_status(excinfo.value) == 503
+        # The rejected run is not tracked as a ghost.
+        assert service.run_count() == 0
+
+    def test_failed_batch_reports_its_error(self, store):
+        service = LabService(
+            store, backend_factory=lambda: "no-such-backend"
+        )
+        try:
+            payload = service.submit(json.dumps(SPEC).encode())
+            wait_runs(service)
+            final = service.run_status(payload["run_id"])
+            assert final["state"] == "failed"
+            assert final["error"].startswith("UnknownBackendError: ")
+            assert service.counters.snapshot()["runs_failed"] == 1
+        finally:
+            service.close()
+
+
+class TestParseRunRequest:
+    def test_single_grid_and_list_shapes(self):
+        single = parse_run_request(json.dumps(SPEC).encode())
+        assert len(single) == 1
+        grid = parse_run_request(
+            json.dumps(
+                {"base": SPEC, "axes": {"workload.params.stride": [1, 2]}}
+            ).encode()
+        )
+        assert len(grid) == 2
+        listed = parse_run_request(json.dumps([SPEC]).encode())
+        assert len(listed) == 1
+
+    def test_empty_and_binary_bodies(self):
+        with pytest.raises(BadRequestError):
+            parse_run_request(b"")
+        with pytest.raises(BadRequestError):
+            parse_run_request(b"\xff\xfe")
+
+    def test_bad_json_raises_the_scenario_layer_error(self):
+        with pytest.raises(ConfigurationError):
+            parse_run_request(b"{broken")
+
+
+class TestErrorMapping:
+    def test_serve_errors_carry_their_status(self):
+        assert error_status(NotFoundError("x")) == 404
+        assert error_status(BadRequestError("x")) == 400
+
+    def test_repro_errors_are_400_and_others_500(self):
+        assert error_status(ConfigurationError("bad spec")) == 400
+        assert error_status(RuntimeError("bug")) == 500
+
+    def test_payload_shape_matches_job_failure_grammar(self):
+        payload = error_payload(ConfigurationError("bad spec"))
+        assert payload == {
+            "error": "ConfigurationError: bad spec",
+            "status": 400,
+        }
