@@ -10,7 +10,6 @@ exactly that shape.
 
 from repro.core.planner import AccessPlanner
 from repro.core.vector import VectorAccess
-from repro.mappings.linear import MatchedXorMapping
 from repro.mappings.matrix import PseudoRandomMapping
 from repro.memory.config import MemoryConfig
 from repro.memory.system import MemorySystem

@@ -13,7 +13,6 @@ from repro.analysis.sweeps import (
 )
 from repro.core.planner import AccessPlanner
 from repro.core.vector import VectorAccess
-from repro.mappings.linear import MatchedXorMapping
 from repro.memory.config import MemoryConfig
 from repro.memory.system import MemorySystem
 from repro.report.tables import render_table

@@ -54,6 +54,10 @@ Module map
 * :mod:`repro.scenarios` — declarative, JSON-serializable scenario
   specs (machine + workload *or* whole program) + the ``simulate()``
   facade over all of the above and design-point diffing;
+* :mod:`repro.check` — static conflict/hazard analysis of specs and
+  vector programs (closed-form conflict verdicts, RAW/WAR/WAW and
+  batchability reports, spec lint, grid dedupe) behind ``repro check``
+  and the lab/serve submission gates;
 * :mod:`repro.report` — experiment runners (E01..E16) and table/figure
   rendering;
 * :mod:`repro.obs` — observability: zero-cost-when-disabled cycle-level
@@ -70,7 +74,7 @@ Module map
   runs, fetch any cached result by config hash with strong ETags;
 * :mod:`repro.cli` — the ``repro`` command line
   (``plan``/``window``/``experiments``/``survey``/``run``/
-  ``scenario``/``lab``).
+  ``scenario``/``check``/``lab``).
 """
 
 from repro.core import (
@@ -125,7 +129,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AccessPlan",

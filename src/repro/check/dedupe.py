@@ -1,0 +1,49 @@
+"""Grid dedupe preview: duplicate design points flagged pre-submit.
+
+The comparison ignores ``name``, which the lab's cache key does NOT:
+two points identical except for their names each simulate separately
+(and byte-identical duplicates collapse to one cached artifact).
+Either way the batch burns quota re-measuring one machine and reads as
+more coverage than it is, so ``DD401`` *warn* names each group of
+identical points before anything is queued.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import ScenarioSpec, canonical_json
+
+from repro.check.findings import Finding
+
+__all__ = ["dedupe_findings"]
+
+
+def dedupe_findings(
+    specs: list[tuple[ScenarioSpec, str]]
+) -> list[Finding]:
+    """``DD401`` findings over ``(spec, location)`` pairs."""
+    groups: dict[str, list[str]] = {}
+    for spec, location in specs:
+        body = canonical_json(
+            {
+                key: value
+                for key, value in spec.to_dict().items()
+                if key != "name"
+            }
+        )
+        groups.setdefault(body, []).append(location)
+    findings = []
+    for locations in groups.values():
+        if len(locations) < 2:
+            continue
+        first, *rest = locations
+        findings.append(
+            Finding(
+                "DD401",
+                "warn",
+                first,
+                f"{len(locations)} design points are identical up to "
+                f"their names ({', '.join(locations)}); each simulates "
+                f"separately but measures the same machine",
+            )
+        )
+    return findings

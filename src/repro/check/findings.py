@@ -1,0 +1,119 @@
+"""The findings grammar every analysis pass speaks.
+
+A finding is one diagnostic line::
+
+    RULE_ID · severity · location · message
+
+``rule_id`` namespaces group by pass: ``CF1xx`` conflict analysis,
+``HZ2xx`` program hazards, ``SL3xx`` spec lint, ``DD4xx`` grid dedupe.
+Severities are ``error`` (the spec will fail or lie), ``warn`` (it will
+run but not the way the author probably hopes), and ``info`` (verdicts
+and summaries worth reading).
+
+:class:`CheckReport` aggregates findings for one document and owns the
+exit-code contract (``1`` iff any error).  :class:`CheckError` carries
+findings across the lab/serve boundary so a rejected submission still
+ships the structured diagnostics that explain it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SEVERITIES",
+    "CheckError",
+    "CheckReport",
+    "Finding",
+]
+
+#: Every severity a finding may carry, strongest first.
+SEVERITIES: tuple[str, ...] = ("error", "warn", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule, a severity, a place, and a sentence."""
+
+    rule_id: str
+    severity: str
+    location: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"finding severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+
+    def render(self) -> str:
+        """The canonical single-line form."""
+        return (
+            f"{self.rule_id} · {self.severity} · {self.location} · "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping (``--json`` output, serve error bodies)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """All findings for one checked document."""
+
+    findings: tuple[Finding, ...]
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warn")
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == "error" for f in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        """``repro check``'s exit status for this document."""
+        return 1 if self.has_errors else 0
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def render(self) -> str:
+        """Every finding, one per line, in pass order."""
+        return "\n".join(f.render() for f in self.findings)
+
+    def to_dict(self) -> dict:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": self.count("error"),
+            "warnings": self.count("warn"),
+            "infos": self.count("info"),
+            "exit_code": self.exit_code,
+        }
+
+
+class CheckError(ReproError):
+    """A submission rejected by static checks.
+
+    Carries the error-severity findings so front doors (lab executor,
+    serve schemas) can surface structured diagnostics, not just the
+    ``TypeName: message`` summary line.
+    """
+
+    def __init__(self, message: str, findings: tuple[Finding, ...] = ()):
+        super().__init__(message)
+        self.findings = tuple(findings)

@@ -494,6 +494,21 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_diff.add_argument("file_a", help="baseline spec (one JSON spec)")
     scenario_diff.add_argument("file_b", help="candidate spec (one JSON spec)")
 
+    check = commands.add_parser(
+        "check",
+        help="static conflict/hazard analysis of scenario specs "
+        "(no simulation; exit 1 on error findings)",
+    )
+    check.add_argument(
+        "files", nargs="+", help="JSON files: one spec, a grid, or a list"
+    )
+    check.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print findings as JSON instead of the line grammar",
+    )
+
     run = commands.add_parser(
         "run", help="execute a vector-assembly file on the decoupled machine"
     )
@@ -1149,6 +1164,54 @@ def _parse_param_overrides(items: list[str]) -> dict[str, dict]:
     return overrides
 
 
+def command_check(args: argparse.Namespace) -> int:
+    """``repro check``: every finding for every file, exit 1 on errors.
+
+    Parse failures are findings (``SL304``), not exceptions — one
+    broken file still reports, and still checks its siblings.  Exit 2
+    is reserved for usage errors (a missing file), matching the other
+    subcommands.
+    """
+    from pathlib import Path
+
+    from repro.check import check_document
+
+    reports = []
+    for filename in args.files:
+        path = Path(filename)
+        if not path.is_file():
+            print(f"no such scenario file: {filename}", file=sys.stderr)
+            return 2
+        reports.append(
+            (filename, check_document(path.read_text(), source=filename))
+        )
+    if args.as_json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    dict(report.to_dict(), file=filename)
+                    for filename, report in reports
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if any(report.has_errors for _, report in reports) else 0
+    total = {"error": 0, "warn": 0, "info": 0}
+    for _filename, report in reports:
+        for finding in report.findings:
+            print(finding.render())
+        for severity in total:
+            total[severity] += report.count(severity)
+    print(
+        f"{sum(total.values())} finding(s): {total['error']} error(s), "
+        f"{total['warn']} warning(s), {total['info']} info"
+    )
+    return 1 if any(report.has_errors for _, report in reports) else 0
+
+
 def command_scenario(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1159,6 +1222,7 @@ def command_scenario(args: argparse.Namespace) -> int:
         load_scenarios,
         simulate,
         summary,
+        validate_spec_kinds,
     )
 
     if args.scenario_command == "list":
@@ -1210,6 +1274,8 @@ def command_scenario(args: argparse.Namespace) -> int:
     if not specs:
         print("no scenarios found in the given files", file=sys.stderr)
         return 2
+    for spec in specs:
+        validate_spec_kinds(spec)
 
     if args.trace and args.lab:
         print(
@@ -1348,6 +1414,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": command_run,
         "lab": command_lab,
         "scenario": command_scenario,
+        "check": command_check,
     }
     try:
         return handlers[args.command](args)

@@ -107,6 +107,36 @@ class ExecutionReport:
         return not self.failures
 
 
+def _lint_scenario_jobs(
+    ordered: Sequence[JobSpec],
+    progress: Callable[[str], None] | None,
+) -> None:
+    """Submit-time static lint over the batch's scenario jobs.
+
+    Error findings (unknown kinds, bad parameters, program/drive
+    mismatches) fail the whole batch *now* — before any artifact is
+    written — with the canonical ``TypeName: message`` grammar
+    (:class:`~repro.check.findings.CheckError`).  Warnings (duplicate
+    design points and the like) go to ``progress``.  Jobs whose spec
+    payload does not even parse are left alone so they fail through the
+    normal execution path, keeping the failure attached to the job.
+    """
+    from repro.check import require_submittable
+    from repro.lab.jobs import scenario_spec_of
+
+    scenario_specs = []
+    for job in ordered:
+        spec = scenario_spec_of(job)
+        if spec is not None:
+            scenario_specs.append(spec)
+    if not scenario_specs:
+        return
+    warnings = require_submittable(scenario_specs, source="lab submit")
+    if progress is not None:
+        for finding in warnings:
+            progress(f"lint: {finding.render()}")
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     *,
@@ -130,6 +160,7 @@ def run_jobs(
     """
     executor = resolve_backend(backend, store=store, workers=workers)
     ordered = sorted(specs, key=lambda spec: spec.job_id)
+    _lint_scenario_jobs(ordered, progress)
     version = repro.__version__
     run_id = run_id or new_run_id()
     started = time.perf_counter()

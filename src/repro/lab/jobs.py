@@ -303,6 +303,27 @@ def scenario_job(scenario) -> JobSpec:
     )
 
 
+def scenario_spec_of(job: JobSpec):
+    """The :class:`~repro.scenarios.ScenarioSpec` a scenario job carries.
+
+    Returns ``None`` for non-scenario jobs and for scenario jobs whose
+    spec payload does not parse — the latter still execute (and fail
+    with the parse error recorded as the job's failure), so submit-time
+    lint must not preempt that path.
+    """
+    if job.kind != SCENARIO_KIND:
+        return None
+    text = dict(job.params).get("spec")
+    if not isinstance(text, str):
+        return None
+    from repro.scenarios import ScenarioSpec
+
+    try:
+        return ScenarioSpec.from_json(text)
+    except ReproError:
+        return None
+
+
 def _load_bench_module(stem: str):
     directory = benchmarks_dir()
     if directory is None:

@@ -57,7 +57,6 @@ from repro.processor.isa import (
     VGather,
     VLoad,
     VScalarOp,
-    VScatter,
     VStore,
     VSum,
 )

@@ -83,6 +83,22 @@ class Program:
         return iter(self.instructions)
 
 
+def def_use_events(program: Program):
+    """Yield ``(position, instruction, reads, writes)`` for a program.
+
+    ``reads``/``writes`` are frozen register-number sets — the def-use
+    stream that drives both the machine's hazard batching and the
+    static analyzer's mirror of it (:mod:`repro.check.hazards`).
+    """
+    for position, instruction in enumerate(program):
+        yield (
+            position,
+            instruction,
+            frozenset(instruction.reads()),
+            frozenset(instruction.writes()),
+        )
+
+
 _REGISTER = re.compile(r"^v(\d+)$", re.IGNORECASE)
 
 #: One memory preload: ``(base, stride, values)`` — the form both the

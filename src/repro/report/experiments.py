@@ -22,7 +22,6 @@ from fractions import Fraction
 from typing import Callable
 
 from repro.analysis.efficiency import (
-    efficiency,
     matched_ordered_efficiency,
     matched_proposed_efficiency,
     unmatched_ordered_efficiency,

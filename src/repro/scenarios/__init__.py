@@ -61,6 +61,8 @@ from repro.scenarios.registry import (
     example_params,
     kinds,
     summary,
+    validate_kind,
+    validate_spec_kinds,
 )
 from repro.scenarios.spec import (
     ComponentSpec,
@@ -100,4 +102,6 @@ __all__ = [
     "resolve_mapping",
     "simulate",
     "summary",
+    "validate_kind",
+    "validate_spec_kinds",
 ]

@@ -31,7 +31,6 @@ from dataclasses import dataclass, field
 
 from repro.core.gather import IndexedAccess, plan_indexed
 from repro.core.planner import AccessPlanner
-from repro.core.vector import VectorAccess
 from repro.errors import ConfigurationError
 from repro.mappings.base import AddressMapping
 from repro.mappings.dynamic import DynamicSchemeSelector

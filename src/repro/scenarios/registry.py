@@ -128,6 +128,74 @@ def build(category: str, spec: ComponentSpec, **context):
         ) from None
 
 
+def validate_kind(category: str, kind: str, *, context: str = "") -> None:
+    """Raise :class:`ConfigurationError` unless ``kind`` is registered.
+
+    The one kind-name validator every front door shares — serve
+    schemas, the scenario CLI, and the ``repro check`` spec-lint pass
+    all call this, so a typo'd kind produces the same message (and the
+    same close-match hint) everywhere.  ``context`` prefixes the
+    message with where the kind appeared (e.g. ``"scenario 'fft'"``).
+    """
+    _check_category(category)
+    if kind in _REGISTRY[category]:
+        return
+    import difflib
+
+    known = sorted(_REGISTRY[category])
+    close = difflib.get_close_matches(kind, known, n=2)
+    hint = f"; did you mean {', '.join(repr(k) for k in close)}?" if close else ""
+    prefix = f"{context}: " if context else ""
+    raise ConfigurationError(
+        f"{prefix}unknown {category} kind {kind!r} "
+        f"(registered: {', '.join(known) or 'none'}){hint}"
+    )
+
+
+def spec_components(spec) -> list[tuple[str, ComponentSpec]]:
+    """The ``(category, component)`` pairs a scenario spec declares."""
+    components = [(MAPPING, spec.mapping), (DRIVE, spec.drive)]
+    if spec.workload is not None:
+        components.append((WORKLOAD, spec.workload))
+    if spec.program is not None:
+        components.append((PROGRAM, spec.program))
+    return components
+
+
+def validate_spec_kinds(spec) -> None:
+    """Validate every component kind one scenario spec names."""
+    context = f"scenario {spec.name!r}" if spec.name else "scenario"
+    for category, component in spec_components(spec):
+        validate_kind(category, component.kind, context=context)
+
+
+def factory_parameters(category: str, kind: str) -> tuple[frozenset[str], frozenset[str]] | None:
+    """The parameter names a kind's factory accepts and requires.
+
+    Returns ``(accepted, required)`` name sets, or ``None`` when the
+    factory takes ``**kwargs`` (every name is acceptable).  Context
+    names (``address_bits``, ``register_length``) are included in
+    ``accepted`` — callers that lint user-supplied params should treat
+    them as reserved, since :func:`build` rejects specs that shadow
+    context.
+    """
+    parameters = inspect.signature(_entry(category, kind).factory).parameters
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return None
+    accepted = frozenset(parameters)
+    required = frozenset(
+        name
+        for name, parameter in parameters.items()
+        if parameter.default is inspect.Parameter.empty
+        and parameter.kind
+        not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+    )
+    return accepted, required
+
+
 def _check_category(category: str) -> None:
     if category not in _REGISTRY:
         raise ConfigurationError(

@@ -85,5 +85,15 @@ def error_status(error: BaseException) -> int:
 
 
 def error_payload(error: BaseException) -> dict:
-    """The JSON body every error response carries."""
-    return {"error": error_message(error), "status": error_status(error)}
+    """The JSON body every error response carries.
+
+    Errors that carry static-check findings (a submission rejected by
+    :func:`repro.check.require_submittable`) ship them structurally, so
+    a 400 tells the client *which* rule fired where, not just the
+    summary line.
+    """
+    payload = {"error": error_message(error), "status": error_status(error)}
+    findings = getattr(error, "findings", None)
+    if findings:
+        payload["findings"] = [finding.to_dict() for finding in findings]
+    return payload

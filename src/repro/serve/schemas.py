@@ -15,9 +15,8 @@ from __future__ import annotations
 
 import time
 
-from repro.errors import ConfigurationError
 from repro.scenarios import ScenarioSpec, load_scenarios
-from repro.scenarios.registry import DRIVE, MAPPING, PROGRAM, WORKLOAD, kinds
+from repro.scenarios.registry import validate_spec_kinds
 from repro.serve.errors import BadRequestError, PayloadTooLargeError
 
 __all__ = [
@@ -68,6 +67,9 @@ def parse_run_request(raw: bytes) -> list[ScenarioSpec]:
     if not specs:
         raise BadRequestError("request body holds no scenarios")
     validate_kinds(specs)
+    from repro.check import require_submittable
+
+    require_submittable(specs, source="POST /v1/runs")
     return specs
 
 
@@ -76,23 +78,13 @@ def validate_kinds(specs: list[ScenarioSpec]) -> None:
 
     The scenario layer resolves kinds lazily (at simulation time), but
     a submission with a typo'd kind should be a ``400`` now, not a
-    failed run discovered by polling.  Name checks only — component
-    params are still the factories' business.
+    failed run discovered by polling.  Delegates to the registry's
+    shared validator (also used by the scenario CLI and the spec-lint
+    pass); the deeper parameter lint runs next in
+    :func:`repro.check.require_submittable`.
     """
     for spec in specs:
-        components = [(MAPPING, spec.mapping), (DRIVE, spec.drive)]
-        if spec.workload is not None:
-            components.append((WORKLOAD, spec.workload))
-        if spec.program is not None:
-            components.append((PROGRAM, spec.program))
-        for category, component in components:
-            known = kinds(category)
-            if component.kind not in known:
-                label = f" {spec.name!r}" if spec.name else ""
-                raise ConfigurationError(
-                    f"scenario{label}: unknown {category} kind "
-                    f"{component.kind!r} (registered: {', '.join(known)})"
-                )
+        validate_spec_kinds(spec)
 
 
 def run_payload(submission) -> dict:

@@ -82,9 +82,15 @@ class LabService:
 
         The run id comes from the same generator CLI runs use, but is
         allocated *here* — before execution — so the response can name
-        the run the background batch will record.
+        the run the background batch will record.  Parsing and static
+        lint run first: a rejected submission counts in
+        ``runs_rejected`` and never allocates (so never leaks) a run id.
         """
-        specs = schemas.parse_run_request(raw)
+        try:
+            specs = schemas.parse_run_request(raw)
+        except Exception:
+            self.counters.bump("runs_rejected")
+            raise
         jobs = sorted(
             (scenario_job(spec) for spec in specs),
             key=lambda job: job.job_id,

@@ -1,0 +1,77 @@
+"""The findings grammar: Finding, CheckReport, CheckError contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import CheckError, CheckReport, Finding
+from repro.check.findings import SEVERITIES
+from repro.errors import ReproError
+
+
+class TestFinding:
+    def test_render_is_the_canonical_grammar(self):
+        finding = Finding("CF101", "info", "spec.json:demo", "all good")
+        assert finding.render() == "CF101 · info · spec.json:demo · all good"
+
+    def test_to_dict_round_trips_every_field(self):
+        finding = Finding("SL301", "error", "loc", "msg")
+        assert finding.to_dict() == {
+            "rule_id": "SL301",
+            "severity": "error",
+            "location": "loc",
+            "message": "msg",
+        }
+
+    @pytest.mark.parametrize("severity", SEVERITIES)
+    def test_every_documented_severity_is_accepted(self, severity):
+        Finding("XX000", severity, "loc", "msg")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding("XX000", "fatal", "loc", "msg")
+
+
+class TestCheckReport:
+    def report(self):
+        return CheckReport(
+            (
+                Finding("SL301", "error", "a", "bad kind"),
+                Finding("CF102", "warn", "b", "conflict-prone"),
+                Finding("HZ201", "info", "c", "batches"),
+            )
+        )
+
+    def test_severity_partitions(self):
+        report = self.report()
+        assert [f.rule_id for f in report.errors] == ["SL301"]
+        assert [f.rule_id for f in report.warnings] == ["CF102"]
+        assert report.count("info") == 1
+
+    def test_exit_code_is_one_iff_errors(self):
+        assert self.report().exit_code == 1
+        clean = CheckReport((Finding("CF101", "info", "a", "fine"),))
+        assert clean.exit_code == 0
+        assert not clean.has_errors
+
+    def test_render_one_line_per_finding(self):
+        assert len(self.report().render().splitlines()) == 3
+
+    def test_to_dict_carries_counts_and_exit_code(self):
+        payload = self.report().to_dict()
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 1
+        assert payload["infos"] == 1
+        assert payload["exit_code"] == 1
+        assert len(payload["findings"]) == 3
+
+
+class TestCheckError:
+    def test_is_a_repro_error_with_findings(self):
+        finding = Finding("SL302", "error", "loc", "bad param")
+        error = CheckError("1 static check error(s)", findings=(finding,))
+        assert isinstance(error, ReproError)
+        assert error.findings == (finding,)
+
+    def test_findings_default_to_empty(self):
+        assert CheckError("boom").findings == ()

@@ -1,0 +1,80 @@
+"""Static batch prediction vs the decoupled machine's runtime batches.
+
+For every registered program kind and a sweep of stream counts, the
+batch partition :func:`repro.check.predict_batches` derives from
+register names and address arithmetic alone must equal the partition
+the cycle-accurate :class:`DecoupledVectorMachine` actually forms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import predict_batches
+from repro.mappings import SectionXorMapping
+from repro.memory import MemoryConfig
+from repro.processor import DecoupledVectorMachine
+from repro.scenarios import ComponentSpec
+from repro.scenarios.registry import PROGRAM, build, example_params, kinds
+
+REGISTER_LENGTH = 64
+STREAMS = [1, 2, 4]
+
+
+def runtime_batches(scenario, streams: int) -> list[tuple[int, ...]]:
+    """The batch partition the machine actually forms, recovered from
+    instruction timings: a new batch starts whenever a memory
+    instruction lands on stream slot 0."""
+    config = MemoryConfig(SectionXorMapping(3, 4, 9), 3, ports=streams)
+    machine = DecoupledVectorMachine(config, REGISTER_LENGTH)
+    for init in scenario.inputs:
+        machine.store.write_vector(*init)
+    result = machine.run(scenario.program)
+    batches: list[list[int]] = []
+    for timing in sorted(result.memory_timings(), key=lambda t: t.position):
+        if timing.stream == 0:
+            batches.append([])
+        batches[-1].append(timing.position)
+    return [tuple(batch) for batch in batches]
+
+
+@pytest.mark.parametrize("kind", kinds(PROGRAM))
+@pytest.mark.parametrize("streams", STREAMS)
+def test_static_batches_match_machine(kind, streams):
+    scenario = build(
+        PROGRAM,
+        ComponentSpec.of(kind, **example_params(PROGRAM, kind)),
+        register_length=REGISTER_LENGTH,
+    )
+    report = predict_batches(
+        scenario.program,
+        memory_streams=streams,
+        register_length=REGISTER_LENGTH,
+    )
+    assert list(report.batches) == runtime_batches(scenario, streams), (
+        f"{kind} streams={streams}"
+    )
+    assert report.memory_streams == streams
+    assert report.peak_concurrency <= streams
+    assert report.memory_instruction_count == sum(
+        len(batch) for batch in report.batches
+    )
+
+
+def test_every_break_names_a_batch_boundary():
+    scenario = build(
+        PROGRAM,
+        ComponentSpec.of("daxpy", **example_params(PROGRAM, "daxpy")),
+        register_length=REGISTER_LENGTH,
+    )
+    report = predict_batches(
+        scenario.program, memory_streams=2, register_length=REGISTER_LENGTH
+    )
+    boundary_positions = {batch[0] for batch in report.batches[1:]}
+    for break_ in report.breaks:
+        # A break is recorded against the instruction that could not
+        # join; the next batch starts at the next memory instruction.
+        assert any(
+            break_.position <= start for start in boundary_positions
+        ), break_
+        assert break_.reason

@@ -1,0 +1,73 @@
+"""Submit-time static lint in the lab executor.
+
+`run_jobs` lints a batch's scenario jobs before touching the store:
+error findings abort the whole batch with a CheckError (nothing
+queued, nothing cached), warnings surface through the progress hook,
+and non-scenario jobs pass through untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import CheckError
+from repro.lab.executor import run_jobs
+from repro.lab.jobs import scenario_job, scenario_spec_of
+from repro.lab.store import ArtifactStore
+from repro.scenarios import ComponentSpec, MemorySpec, ScenarioSpec
+
+
+def spec(name="gate", **mapping_params):
+    params = dict(t=3, s=4)
+    params.update(mapping_params)
+    return ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", **params),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=16, stride=12, length=128),
+        name=name,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "lab")
+
+
+class TestLabSubmitGate:
+    def test_bad_param_fails_the_batch_before_execution(self, store):
+        jobs = [scenario_job(spec()), scenario_job(spec("bad", warp=9))]
+        with pytest.raises(CheckError, match="SL302") as info:
+            run_jobs(jobs, store=store, backend="serial")
+        assert info.value.findings[0].rule_id == "SL302"
+        # Nothing ran, nothing was cached — a later clean batch misses.
+        report = run_jobs(
+            [scenario_job(spec())], store=store, backend="serial"
+        )
+        assert report.cache_hits == 0 and report.all_passed
+
+    def test_duplicate_specs_warn_via_progress(self, store):
+        lines = []
+        jobs = [scenario_job(spec("a")), scenario_job(spec("b"))]
+        report = run_jobs(
+            jobs, store=store, backend="serial", progress=lines.append
+        )
+        assert report.all_passed
+        assert any("lint: DD401" in line for line in lines)
+
+    def test_clean_scenario_batch_is_silent(self, store):
+        lines = []
+        report = run_jobs(
+            [scenario_job(spec())],
+            store=store,
+            backend="serial",
+            progress=lines.append,
+        )
+        assert report.all_passed
+        assert not any(line.startswith("lint:") for line in lines)
+
+    def test_scenario_spec_of_roundtrip_and_non_scenario_jobs(self, store):
+        job = scenario_job(spec())
+        assert scenario_spec_of(job) == spec()
+        from repro.lab.jobs import experiment_spec
+
+        assert scenario_spec_of(experiment_spec("E01")) is None

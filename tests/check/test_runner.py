@@ -1,0 +1,177 @@
+"""The check pipeline: documents in, reports out; submit-time gates."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    CheckError,
+    check_document,
+    check_path,
+    require_submittable,
+    submit_findings,
+)
+from repro.scenarios import ComponentSpec, MemorySpec, ScenarioGrid, ScenarioSpec
+
+EXAMPLES = Path("examples")
+
+
+def spec_dict(**overrides) -> dict:
+    base = {
+        "name": "runner-demo",
+        "mapping": {"kind": "matched-xor", "params": {"t": 3, "s": 4}},
+        "memory": {"t": 3},
+        "workload": {
+            "kind": "strided",
+            "params": {"base": 16, "stride": 12, "length": 128},
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+def rules(report) -> list[str]:
+    return [finding.rule_id for finding in report.findings]
+
+
+class TestCheckDocument:
+    def test_clean_spec_reports_cf101_only_infos(self):
+        report = check_document(json.dumps(spec_dict()), source="s")
+        assert report.exit_code == 0
+        assert "CF101" in rules(report)
+        assert "Theorem-1" in report.findings[0].message
+
+    def test_locations_carry_source_and_name(self):
+        report = check_document(json.dumps(spec_dict()), source="demo.json")
+        assert report.findings[0].location.startswith(
+            "demo.json:runner-demo"
+        )
+
+    def test_unparsable_json_is_sl304_not_a_raise(self):
+        report = check_document("{not json", source="s")
+        assert rules(report) == ["SL304"]
+        assert report.exit_code == 1
+
+    def test_unparsable_spec_is_sl304(self):
+        report = check_document('{"memory": {"t": 3}}', source="s")
+        assert rules(report) == ["SL304"]
+
+    def test_build_failure_is_sl303(self):
+        # Lint-clean (all kinds/params valid) but geometrically absurd:
+        # a section-xor mapping whose y exceeds the address width.
+        document = spec_dict(
+            mapping={
+                "kind": "section-xor",
+                "params": {"t": 3, "s": 4, "y": 99},
+            }
+        )
+        report = check_document(json.dumps(document), source="s")
+        assert "SL303" in rules(report)
+        assert report.exit_code == 1
+
+    def test_lint_errors_suppress_deeper_passes(self):
+        document = spec_dict(mapping={"kind": "warp", "params": {}})
+        report = check_document(json.dumps(document), source="s")
+        assert "SL301" in rules(report)
+        assert "CF101" not in rules(report)
+        assert "CF102" not in rules(report)
+
+    def test_list_document_checks_every_entry(self):
+        a = spec_dict(name="a")
+        b = spec_dict(name="b", mapping={"kind": "warp", "params": {}})
+        report = check_document(json.dumps([a, b]), source="s")
+        assert "CF101" in rules(report)  # a still fully analyzed
+        assert "SL301" in rules(report)  # b's error reported alongside
+        assert report.exit_code == 1
+
+    def test_grid_document_expands_and_dedupes(self):
+        grid = ScenarioGrid.of(
+            ScenarioSpec.from_dict(spec_dict()),
+            memory__q=(1, 1),
+        )
+        report = check_document(grid.to_json(), source="g")
+        assert "SL305" in rules(report)  # duplicate axis value
+        assert "DD401" in rules(report)  # ...expands to identical points
+        assert rules(report).count("CF101") == 2
+
+    def test_program_spec_gets_hazard_findings(self):
+        document = {
+            "name": "prog",
+            "mapping": {"kind": "matched-xor", "params": {"t": 3, "s": 4}},
+            "memory": {"t": 3, "q": 2},
+            "program": {"kind": "daxpy", "params": {"n": 96}},
+            "drive": {"kind": "decoupled", "params": {"chaining": True}},
+        }
+        report = check_document(json.dumps(document), source="s")
+        found = rules(report)
+        assert "HZ201" in found and "HZ203" in found
+        assert report.exit_code == 0
+
+
+class TestCheckPath:
+    @pytest.mark.parametrize(
+        "path",
+        sorted(
+            path
+            for path in EXAMPLES.glob("*.json")
+            if path.name != "scenario_bad_stride.json"
+        ),
+        ids=lambda path: path.name,
+    )
+    def test_every_committed_example_is_clean(self, path):
+        report = check_path(path)
+        assert report.exit_code == 0, report.render()
+
+    def test_bad_stride_example_fails_with_a_conflict_finding(self):
+        report = check_path(EXAMPLES / "scenario_bad_stride.json")
+        assert report.exit_code == 1
+        [error] = report.errors
+        assert error.rule_id == "CF104"
+        assert "stride 96" in error.message
+
+
+class TestSubmitGate:
+    def good(self, name="a"):
+        return ScenarioSpec.from_dict(spec_dict(name=name))
+
+    def bad(self):
+        return ScenarioSpec(
+            mapping=ComponentSpec.of("matched-xor", t=3, s=4, warp=1),
+            memory=MemorySpec(t=3),
+            workload=ComponentSpec.of("strided", stride=12, length=128),
+            name="bad",
+        )
+
+    def test_submit_findings_lints_without_building(self):
+        findings = submit_findings([self.good(), self.bad()])
+        assert [f.rule_id for f in findings] == ["SL302"]
+
+    def test_require_submittable_passes_clean_specs(self):
+        assert require_submittable([self.good()]) == []
+
+    def test_require_submittable_returns_dedupe_warnings(self):
+        warnings = require_submittable([self.good("a"), self.good("b")])
+        assert [f.rule_id for f in warnings] == ["DD401"]
+
+    def test_require_submittable_raises_check_error_with_findings(self):
+        with pytest.raises(CheckError, match="static check error") as info:
+            require_submittable([self.bad()], source="lab submit")
+        assert info.value.findings[0].rule_id == "SL302"
+        assert "lab submit:bad" in info.value.findings[0].location
+
+    def test_gate_does_not_reject_conflict_prone_specs(self):
+        # Deliberate: conflict analysis needs built components and a
+        # planner pass; submission only lints.  A conflict-prone spec
+        # submits fine and reports CF102 when checked in full.
+        prone = ScenarioSpec.from_dict(
+            spec_dict(
+                workload={
+                    "kind": "strided",
+                    "params": {"base": 16, "stride": 1, "length": 64},
+                }
+            )
+        )
+        assert require_submittable([prone]) == []

@@ -19,7 +19,6 @@ from repro.core.distributions import (
 )
 from repro.core.vector import VectorAccess
 from repro.errors import VectorSpecError
-from repro.mappings.linear import MatchedXorMapping
 
 
 class TestSpatialDistribution:

@@ -7,7 +7,6 @@ import pytest
 from repro.core.planner import AccessPlanner
 from repro.core.vector import VectorAccess
 from repro.errors import SimulationError
-from repro.mappings.linear import MatchedXorMapping
 from repro.memory.arbiter import RoundRobinArbiter
 from repro.memory.config import MemoryConfig
 from repro.memory.system import MemorySystem

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.memory.config import MemoryConfig
 from repro.processor.decoupled import DecoupledVectorMachine
 from repro.processor.isa import VGather, VLoad, VScatter, VStore, VSum

@@ -8,7 +8,6 @@ import pytest
 from repro.core.planner import AccessPlanner
 from repro.core.vector import VectorAccess
 from repro.errors import ConfigurationError
-from repro.mappings.linear import MatchedXorMapping
 from repro.memory.config import MemoryConfig
 from repro.memory.system import MemorySystem
 from repro.scenarios import (

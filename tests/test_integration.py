@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.planner import AccessPlanner
 from repro.core.vector import VectorAccess
 from repro.hardware.oos_engine import Figure6Engine
