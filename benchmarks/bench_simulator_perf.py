@@ -130,3 +130,140 @@ def test_full_machine_daxpy_two_ports(benchmark):
 
     result = benchmark(run_machine)
     assert result.stream_concurrency_peak == 2
+
+
+# -- batch design-point evaluation ----------------------------------------
+#
+# The batch engine's acceptance bar (see tests/batch/): >= 10x over the
+# per-point kernel on a 1000-cell conflict-free-heavy grid.  The grid
+# mixes strides whose accesses plan conflict-free under the matched XOR
+# mapping (the analytic tier) with conflict-prone ones (the SoA tier);
+# the baseline bench runs the identical specs through simulate() so the
+# BENCH_*.json artifact records both sides of the ratio per commit.
+
+
+def _batch_grid():
+    from repro.scenarios import (
+        ComponentSpec,
+        MemorySpec,
+        ScenarioGrid,
+        ScenarioSpec,
+    )
+
+    base = ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=0, stride=1, length=64),
+        name="batch-perf",
+    )
+    return ScenarioGrid.of(
+        base,
+        workload__params__stride=(1, 2, 3, 4, 5, 7, 8, 12, 16, 96),
+        workload__params__length=(32, 64, 128, 256, 512),
+        workload__params__base=(0, 8, 64, 128),
+        memory__q=(1, 2, 4, 8, 16),
+    )
+
+
+_BATCH_SPECS = _batch_grid().expand()
+
+
+def test_batch_grid_1000_cells(benchmark):
+    """The headline number: one 1000-cell grid through evaluate_batch."""
+    from repro.batch import evaluate_batch
+
+    report = benchmark(evaluate_batch, _BATCH_SPECS)
+    assert len(report.results) == 1000
+    assert report.analytic_count > 0
+    assert report.soa_count > 0
+    assert report.fallback_count == 0
+
+
+def test_batch_grid_1000_cells_stdlib(benchmark):
+    """The same grid with numpy acceleration forced off."""
+    from repro.batch import evaluate_batch
+
+    report = benchmark(evaluate_batch, _BATCH_SPECS, use_numpy=False)
+    assert len(report.results) == 1000
+
+
+def test_kernel_grid_1000_cells_baseline(benchmark):
+    """Per-point simulate() over the identical grid — the denominator."""
+    from repro.scenarios import simulate
+
+    def run_all():
+        return [simulate(spec) for spec in _BATCH_SPECS]
+
+    results = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    assert len(results) == 1000
+
+
+def test_batch_grid_analytic_only(benchmark):
+    """A grid whose every point the closed form answers outright."""
+    from repro.batch import evaluate_batch
+    from repro.scenarios import (
+        ComponentSpec,
+        MemorySpec,
+        ScenarioGrid,
+        ScenarioSpec,
+    )
+
+    base = ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", base=0, stride=1, length=128),
+        name="analytic-perf",
+    )
+    specs = ScenarioGrid.of(
+        base,
+        workload__params__stride=(1, 2, 3, 4, 8, 12, 16, 24),
+        workload__params__length=(128, 256, 512, 1024),
+        workload__params__base=(0, 8, 64, 128, 1024),
+    ).expand()
+    report = benchmark(evaluate_batch, specs)
+    assert report.analytic_count == len(specs) == 160
+
+
+def test_batch_grid_mixed_with_indexed(benchmark):
+    """Strided + indexed points: the SoA kernel carries the gathers."""
+    from repro.batch import evaluate_batch
+    from repro.scenarios import ScenarioSpec
+
+    mapping = {"kind": "matched-xor", "params": {"t": 3, "s": 4}}
+    specs = []
+    for stride in (1, 3, 8, 96):
+        for length in (64, 128):
+            specs.append(
+                ScenarioSpec.from_dict(
+                    {
+                        "name": f"mix-s{stride}-l{length}",
+                        "mapping": mapping,
+                        "memory": {"t": 3},
+                        "workload": {
+                            "kind": "strided",
+                            "params": {
+                                "base": 0,
+                                "stride": stride,
+                                "length": length,
+                            },
+                        },
+                    }
+                )
+            )
+    for bits in (5, 6, 7, 8):
+        specs.append(
+            ScenarioSpec.from_dict(
+                {
+                    "name": f"mix-bitrev{bits}",
+                    "mapping": mapping,
+                    "memory": {"t": 3},
+                    "workload": {
+                        "kind": "bit-reversal",
+                        "params": {"bits": bits},
+                    },
+                }
+            )
+        )
+    report = benchmark(evaluate_batch, specs)
+    assert len(report.results) == len(specs)
+    assert report.soa_count > 0

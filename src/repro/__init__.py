@@ -54,6 +54,12 @@ Module map
 * :mod:`repro.scenarios` — declarative, JSON-serializable scenario
   specs (machine + workload *or* whole program) + the ``simulate()``
   facade over all of the above and design-point diffing;
+* :mod:`repro.batch` — the batch design-point evaluation engine:
+  a closed-form analytic fast path for conflict-free planner points
+  plus a struct-of-arrays batched kernel (numpy-accelerated when
+  available, pure-stdlib otherwise), selectable as ``--engine batch``
+  wherever grids run, with sampled re-validation against the
+  per-point kernel;
 * :mod:`repro.check` — static conflict/hazard analysis of specs and
   vector programs (closed-form conflict verdicts, RAW/WAR/WAW and
   batchability reports, spec lint, grid dedupe) behind ``repro check``
@@ -129,7 +135,7 @@ from repro.scenarios import (
     simulate,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AccessPlan",

@@ -1,0 +1,36 @@
+"""Batch design-point evaluation: many scenarios in one pass.
+
+Two tiers above the per-point simulator: an analytic fast path that
+answers conflict-free planner-drive points with the paper's closed-form
+``T + L + 1`` arithmetic (no simulation), and a struct-of-arrays
+batched kernel that simulates the remaining planner-drive points
+together under a shared event-skip horizon.  Points neither tier can
+claim fall back to :func:`repro.scenarios.simulate`, so every spec the
+per-point engine accepts evaluates identically here — same fields,
+same artifacts, same cache keys.
+
+Entry points: :func:`repro.scenarios.simulate_grid` (and ``repro
+scenario run --engine batch``) for direct evaluation, and
+:class:`BatchBackend` (``repro lab run|sweep --engine batch``) for
+cached lab batches.  Optional numpy acceleration is feature-detected
+and never required (:mod:`repro.batch._accel`).
+"""
+
+from repro.batch.analytic import analytic_result
+from repro.batch.engine import (
+    BatchBackend,
+    BatchReport,
+    BatchValidationError,
+    evaluate_batch,
+)
+from repro.batch.prepare import PreparedPoint, prepare_point
+
+__all__ = [
+    "BatchBackend",
+    "BatchReport",
+    "BatchValidationError",
+    "PreparedPoint",
+    "analytic_result",
+    "evaluate_batch",
+    "prepare_point",
+]

@@ -1,0 +1,54 @@
+"""Feature-detected numpy acceleration for the batch evaluator.
+
+The repo's zero-runtime-deps rule stands: numpy is *never* required.
+When it happens to be importable, the batch layers use it for the
+aggregate bookkeeping that vectorises cleanly (per-module request
+histograms over thousands of planned accesses); when it is absent —
+or explicitly disabled — the pure-stdlib code paths produce identical
+results, which ``tests/batch/test_engine.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # pragma: no cover - exercised via both branches in the suite
+    import numpy as _np
+except ImportError:  # pragma: no cover - container always has one state
+    _np = None  # type: ignore[assignment]
+
+#: Whether numpy imported; the acceleration default.
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "module_histogram", "numpy_enabled"]
+
+
+def numpy_enabled(use_numpy: bool | None) -> bool:
+    """Resolve a three-state flag: ``None`` auto-detects, ``True`` asks
+    for numpy (quietly falling back when it is not installed — the flag
+    is a hint, never a dependency), ``False`` forces pure stdlib."""
+    if use_numpy is None:
+        return HAVE_NUMPY
+    return bool(use_numpy) and HAVE_NUMPY
+
+
+def module_histogram(
+    modules: Sequence[int],
+    module_count: int,
+    *,
+    use_numpy: bool | None = None,
+) -> list[int]:
+    """Requests per module for one planned access, as plain ints."""
+    if numpy_enabled(use_numpy):
+        if isinstance(modules, _np.ndarray):
+            flat = modules
+        else:
+            flat = _np.fromiter(modules, dtype=_np.int64, count=len(modules))
+        return [
+            int(count)
+            for count in _np.bincount(flat, minlength=module_count)
+        ]
+    counts = [0] * module_count
+    for module in modules:
+        counts[module] += 1
+    return counts

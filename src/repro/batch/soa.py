@@ -1,0 +1,302 @@
+"""Struct-of-arrays batched single-stream memory simulation.
+
+One *run* is what :meth:`repro.memory.system.MemorySystem.run_plan`
+hands the kernel: a single request stream (module per request, in issue
+order) against one memory geometry.  A batch holds the state of many
+runs in flat preallocated lists laid out point-major — run ``r`` owns
+the module slice ``[moff[r], moff[r+1])`` and the request slice
+``[roff[r], roff[r+1])`` of every array, so the design-point index is
+the trailing axis of each logical (module × point) / (request × point)
+array.  Runs never interact; a shared event-skip horizon (a min-heap of
+wake cycles) always resumes the run with the earliest pending event, so
+one pass finishes the whole batch no matter how unevenly cycle counts
+are distributed across points.
+
+The per-cycle phase order replicates the single-stream specialisation
+of :meth:`repro.memory.kernel.MemoryKernel._simulate` exactly — issue,
+oldest-first delivery, module start-then-finish, event skip — and
+``tests/batch/`` drives both against each other field-for-field.  What
+makes it faster than the general kernel: no per-request record objects,
+no stream normalisation or tracer plumbing, and module queues stored as
+index windows over the module's precomputed request sequence (requests
+enter and leave each module strictly in stream order, so a queue is a
+pair of counters, not a deque).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.batch._accel import module_histogram
+from repro.errors import SimulationError
+
+__all__ = ["SoaRunSpec", "SoaRunResult", "simulate_runs"]
+
+
+@dataclass(frozen=True)
+class SoaRunSpec:
+    """One single-stream run: the module of each request, in issue order,
+    plus the memory geometry it runs against."""
+
+    modules: tuple[int, ...]
+    service_time: int
+    module_count: int
+    input_capacity: int
+    output_capacity: int
+    ports: int
+
+
+@dataclass(frozen=True)
+class SoaRunResult:
+    """One run's aggregate outcome, attribute-compatible with
+    :class:`repro.memory.system.AccessResult` for everything the
+    scenario aggregation reads (latency, stalls, waits, busy cycles,
+    conflict-freedom, element count)."""
+
+    latency: int
+    issue_stall_cycles: int
+    wait_count: int
+    bus_held_result: bool
+    element_count: int
+    module_busy_cycles: tuple[int, ...]
+
+    @property
+    def conflict_free(self) -> bool:
+        """The single-stream kernel verdict: no request waited, no issue
+        stalled, and no result was held back on the result bus."""
+        return (
+            self.wait_count == 0
+            and self.issue_stall_cycles == 0
+            and not self.bus_held_result
+        )
+
+
+def simulate_runs(
+    runs: Sequence[SoaRunSpec], *, use_numpy: bool | None = None
+) -> list[SoaRunResult]:
+    """Simulate every run to completion; results in input order."""
+    run_count = len(runs)
+    if run_count == 0:
+        return []
+
+    # Point-major offsets: run r's modules and requests live in
+    # contiguous slices of the flat arrays below.
+    moff = [0] * (run_count + 1)
+    roff = [0] * (run_count + 1)
+    for r, run in enumerate(runs):
+        moff[r + 1] = moff[r] + run.module_count
+        roff[r + 1] = roff[r] + len(run.modules)
+    module_total = moff[run_count]
+    request_total = roff[run_count]
+
+    # Per-request state (global request id = roff[r] + stream position).
+    mod_g = [0] * request_total  # global module id of each request
+    arrival = [0] * request_total
+    ready = [0] * request_total
+
+    # Per-module request sequences: each module's requests in stream
+    # order, counting-sorted into one flat array.  Queue contents are
+    # always contiguous windows of these sequences.
+    counts_per_run = [
+        module_histogram(run.modules, run.module_count, use_numpy=use_numpy)
+        for run in runs
+    ]
+    seq_base = [0] * (module_total + 1)
+    for r, counts in enumerate(counts_per_run):
+        for local, count in enumerate(counts):
+            seq_base[moff[r] + local + 1] = count
+    for m in range(module_total):
+        seq_base[m + 1] += seq_base[m]
+    seq = [0] * request_total
+    fill = list(seq_base[:module_total])
+    for r, run in enumerate(runs):
+        base_m = moff[r]
+        rid = roff[r]
+        for local in run.modules:
+            m = base_m + local
+            mod_g[rid] = m
+            seq[fill[m]] = rid
+            fill[m] += 1
+            rid += 1
+
+    # Per-module state: queue windows as counters over the sequence.
+    appended = [0] * module_total  # requests issued towards the module
+    started = [0] * module_total  # requests that began service
+    pushed = [0] * module_total  # results pushed into the output queue
+    done = [0] * module_total  # results delivered
+    svc_rid = [-1] * module_total
+    svc_fin = [0] * module_total
+    blk_rid = [-1] * module_total
+
+    # Per-run state.
+    cursor = [0] * run_count
+    stalls = [0] * run_count
+    waits = [0] * run_count
+    delivered = [0] * run_count
+    cyc = [0] * run_count
+    held = [False] * run_count
+    totals = [len(run.modules) for run in runs]
+    active: list[set[int]] = [set() for _ in range(run_count)]
+    # Same livelock guard the kernel computes (single stream starts at
+    # cycle 1, so the start term contributes zero).
+    guards = [
+        (totals[r] + 2) * (runs[r].service_time + 2) + 64
+        for r in range(run_count)
+    ]
+
+    def advance(r: int) -> bool:
+        """Run ``r`` until completion (True) or an event-skip jump
+        (False; the caller re-queues it on the shared horizon)."""
+        run = runs[r]
+        service_time = run.service_time
+        input_capacity = run.input_capacity
+        output_capacity = run.output_capacity
+        ports = run.ports
+        rbase = roff[r]
+        total = totals[r]
+        guard = guards[r]
+        act = active[r]
+        cycle = cyc[r]
+        while delivered[r] < total:
+            cycle += 1
+            if cycle > guard:
+                raise SimulationError(
+                    f"simulation exceeded {guard} cycles for {total} "
+                    f"requests — livelock?"
+                )
+            progressed = False
+
+            # 1. Address port: one request per cycle, stall on full
+            # input queue.
+            position = cursor[r]
+            if position < total:
+                rid = rbase + position
+                m = mod_g[rid]
+                if appended[m] - started[m] < input_capacity:
+                    arrival[rid] = cycle + 1
+                    appended[m] += 1
+                    act.add(m)
+                    cursor[r] = position + 1
+                    progressed = True
+                else:
+                    stalls[r] += 1
+
+            # 2. Result ports: up to ``ports`` deliveries, oldest result
+            # first (ready cycle, then module index).
+            ready_count = 0
+            for m in act:
+                if done[m] < pushed[m]:
+                    if ready[seq[seq_base[m] + done[m]]] <= cycle:
+                        ready_count += 1
+            grants = 0
+            while grants < ports and delivered[r] < total:
+                best_m = -1
+                best_ready = 0
+                for m in act:
+                    if done[m] < pushed[m]:
+                        head_ready = ready[seq[seq_base[m] + done[m]]]
+                        if head_ready <= cycle and (
+                            best_m < 0
+                            or head_ready < best_ready
+                            or (head_ready == best_ready and m < best_m)
+                        ):
+                            best_m = m
+                            best_ready = head_ready
+                if best_m < 0:
+                    break
+                done[best_m] += 1
+                delivered[r] += 1
+                grants += 1
+                progressed = True
+            if ready_count > grants:
+                held[r] = True
+
+            # 3. Module service: start new work, then retire finishing
+            # work (start-before-finish, modules independent).
+            for m in list(act):
+                if svc_rid[m] < 0 and blk_rid[m] < 0:
+                    if started[m] < appended[m]:
+                        rid = seq[seq_base[m] + started[m]]
+                        if arrival[rid] <= cycle:
+                            started[m] += 1
+                            if arrival[rid] != cycle:
+                                waits[r] += 1
+                            svc_rid[m] = rid
+                            svc_fin[m] = cycle + service_time - 1
+                            progressed = True
+                if blk_rid[m] >= 0:
+                    if pushed[m] - done[m] < output_capacity:
+                        ready[blk_rid[m]] = cycle + 1
+                        pushed[m] += 1
+                        blk_rid[m] = -1
+                        progressed = True
+                elif svc_rid[m] >= 0 and svc_fin[m] == cycle:
+                    rid = svc_rid[m]
+                    svc_rid[m] = -1
+                    if pushed[m] - done[m] < output_capacity:
+                        ready[rid] = cycle + 1
+                        pushed[m] += 1
+                    else:
+                        blk_rid[m] = rid
+                    progressed = True
+                if (
+                    svc_rid[m] < 0
+                    and blk_rid[m] < 0
+                    and started[m] == appended[m]
+                    and done[m] == pushed[m]
+                ):
+                    act.discard(m)
+
+            # 4. Event skip: jump to the next scheduled event, counting
+            # the skipped cycles as issue stalls when the stream is
+            # blocked — then yield the slot back to the shared horizon.
+            if not progressed and delivered[r] < total:
+                next_event = guard + 1
+                for m in act:
+                    if svc_rid[m] >= 0:
+                        if svc_fin[m] < next_event:
+                            next_event = svc_fin[m]
+                    elif blk_rid[m] < 0 and started[m] < appended[m]:
+                        head_arrival = arrival[seq[seq_base[m] + started[m]]]
+                        if cycle < head_arrival < next_event:
+                            next_event = head_arrival
+                    if done[m] < pushed[m]:
+                        head_ready = ready[seq[seq_base[m] + done[m]]]
+                        if cycle < head_ready < next_event:
+                            next_event = head_ready
+                jump = next_event - cycle - 1
+                if jump > 0:
+                    if cursor[r] < total:
+                        stalls[r] += jump
+                    cyc[r] = cycle + jump
+                    return False
+        cyc[r] = cycle
+        return True
+
+    # Shared event-skip horizon: always resume the run whose next event
+    # is earliest, so the batch drains front-to-back in event time.
+    horizon = [(1, r) for r in range(run_count)]
+    heapq.heapify(horizon)
+    while horizon:
+        _wake, r = heapq.heappop(horizon)
+        if not advance(r):
+            heapq.heappush(horizon, (cyc[r] + 1, r))
+
+    results = []
+    for r, run in enumerate(runs):
+        busy = tuple(
+            run.service_time * count for count in counts_per_run[r]
+        )
+        results.append(
+            SoaRunResult(
+                latency=cyc[r],
+                issue_stall_cycles=stalls[r],
+                wait_count=waits[r],
+                bus_held_result=held[r],
+                element_count=totals[r],
+                module_busy_cycles=busy,
+            )
+        )
+    return results

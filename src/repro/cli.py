@@ -74,6 +74,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     """The execution-backend flags `lab run` and `lab sweep` share."""
     parser.add_argument(
@@ -106,12 +113,45 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         help="spool backend: the coordinator also claims and executes "
         "jobs while polling (works with zero external workers)",
     )
+    _add_engine_options(parser)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The evaluation-engine flags shared by lab and scenario commands."""
+    parser.add_argument(
+        "--engine",
+        choices=["kernel", "batch"],
+        default="kernel",
+        help="evaluation engine: kernel (per-point simulator, the "
+        "default) or batch (analytic fast path + vectorized batched "
+        "kernel; artifacts and cache keys are identical)",
+    )
+    parser.add_argument(
+        "--validate",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="batch engine: re-run N evenly-sampled points through the "
+        "per-point kernel and fail on any field mismatch (default 0)",
+    )
 
 
 def _build_backend(args: argparse.Namespace, store):
     """The backend instance (or name) `run_jobs` should execute through."""
+    if getattr(args, "engine", "kernel") == "batch":
+        if getattr(args, "backend", None) is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--engine batch provides its own execution backend; "
+                "drop --backend (the spool/pool flags apply only to "
+                "the kernel engine)"
+            )
+        from repro.batch import BatchBackend
+
+        return BatchBackend(validate=getattr(args, "validate", 0))
     if getattr(args, "backend", None) != "spool":
-        return args.backend
+        return getattr(args, "backend", None)
     from repro.lab import SpoolBackend
 
     return SpoolBackend(
@@ -385,6 +425,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative regression tolerance (default 0.05)",
     )
     lab_history.add_argument(
+        "--absolute-floor",
+        type=float,
+        default=0.0,
+        dest="absolute_floor",
+        metavar="SLACK",
+        help="absolute slack when a series' best-ever value is 0 and "
+        "relative tolerance is meaningless (default 0.0: any move off "
+        "a zero best is flagged)",
+    )
+    lab_history.add_argument(
         "--limit",
         type=_positive_int,
         default=None,
@@ -473,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="with --lab: ignore the cache"
     )
     scenario_run.add_argument("--root", default=None, help=root_help)
+    _add_engine_options(scenario_run)
     scenario_run.add_argument(
         "--trace",
         default=None,
@@ -1052,6 +1103,7 @@ def _lab_history(args: argparse.Namespace, store) -> int:
             metric=args.metric,
             scenario=args.scenario,
             tolerance=args.tolerance,
+            absolute_floor=args.absolute_floor,
         )
 
     if args.as_json:
@@ -1285,6 +1337,14 @@ def command_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.trace and args.engine == "batch":
+        print(
+            "--trace needs the per-point simulator; drop --engine batch "
+            "(the analytic fast path never runs a cycle loop, so there "
+            "are no trace events to record)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.lab:
         from repro.lab import (
@@ -1303,6 +1363,7 @@ def command_scenario(args: argparse.Namespace) -> int:
             workers=args.jobs,
             force=args.force,
             progress=print,
+            backend=_build_backend(args, store),
         )
         run_dir = write_run_artifacts(store, report)
         print(
@@ -1333,6 +1394,18 @@ def command_scenario(args: argparse.Namespace) -> int:
                 f"{spec.describe()})",
                 file=info,
             )
+    elif args.engine == "batch":
+        from repro.batch import evaluate_batch
+
+        report = evaluate_batch(specs, validate=args.validate)
+        results = list(zip(specs, report.results))
+        print(
+            f"batch: {len(specs)} design points "
+            f"({report.analytic_count} analytic, {report.soa_count} "
+            f"batched, {report.fallback_count} fallback, "
+            f"{report.validated_count} validated)",
+            file=sys.stderr if args.as_json else sys.stdout,
+        )
     else:
         results = [(spec, simulate(spec)) for spec in specs]
     if args.as_json:

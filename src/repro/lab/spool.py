@@ -66,6 +66,9 @@ CLAIMED_DIR = "claimed"
 DONE_DIR = "done"
 CLOSED_MARKER = "CLOSED"
 STOP_MARKER = "STOP"
+#: Touched and stat'ed to read the spool filesystem's clock, so claim
+#: ages are measured by the clock that stamped the claim mtimes.
+CLOCK_PROBE = ".clock-probe"
 
 DEFAULT_POLL_INTERVAL = 0.05
 DEFAULT_STALE_AFTER = 60.0
@@ -169,19 +172,40 @@ class SpoolRun:
             published[name] = spec
         return published
 
+    def _spool_now(self) -> float:
+        """The spool filesystem's idea of "now".
+
+        Claim-file mtimes are stamped by whatever host mounts the spool
+        (an NFS server, a container with a drifted clock), so comparing
+        them against the coordinator's ``time.time()`` mismeasures ages
+        by the full clock skew — enough to requeue every live claim, or
+        never requeue dead ones.  Touching a probe file and reading its
+        mtime back asks the same clock that stamped the claims.  Falls
+        back to the local clock only if the probe cannot be written.
+        """
+        probe = self.root / CLOCK_PROBE
+        try:
+            probe.touch()
+            return probe.stat().st_mtime
+        except OSError:
+            return time.time()
+
     def requeue_stale(self, stale_after: float) -> list[str]:
         """Claims whose heartbeat stopped go back to pending; returns names.
 
         A live worker touches its claim file every few seconds, so a
-        claim older than ``stale_after`` belongs to a dead worker.  The
-        rename back into ``pending/`` is atomic; a worker that turns
-        out to be merely slow still writes its ``done`` file, which
-        wins regardless.
+        claim older than ``stale_after`` belongs to a dead worker.  Ages
+        are measured against the spool filesystem's clock (see
+        :meth:`_spool_now`), not the coordinator's, so clock skew
+        between the two cannot requeue live claims or strand dead
+        ones.  The rename back into ``pending/`` is atomic; a worker
+        that turns out to be merely slow still writes its ``done``
+        file, which wins regardless.
         """
         if not self.claimed_dir.is_dir():
             return []
         requeued = []
-        now = time.time()
+        now = self._spool_now()
         for path in sorted(self.claimed_dir.glob("*.json")):
             if (self.done_dir / path.name).exists():
                 continue

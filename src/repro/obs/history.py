@@ -482,14 +482,20 @@ class HistoryDB:
         metric: str | None = None,
         scenario: str | None = None,
         tolerance: float = 0.05,
+        absolute_floor: float = 0.0,
     ) -> list[dict]:
         """Series whose latest point is worse than best-ever + tolerance.
 
         A series is one ``(job_id, metric)`` pair across runs; it needs
         at least two points (one run cannot regress against itself) and
         a known metric direction (see :func:`metric_direction`).  The
-        tolerance is relative to the best value when it is non-zero,
-        absolute otherwise.
+        tolerance is relative to the best value; a zero best has no
+        scale for a relative band, so it gets the ``absolute_floor``
+        slack instead — ``0.0`` by default, meaning any strictly worse
+        move off a perfect zero (stalls, waits, diff counts) is
+        flagged.  (Earlier versions silently reused ``tolerance`` as
+        that absolute band, so a stall count creeping from 0 to 0.05
+        was never reported.)
         """
         if not self.path.is_file():
             return []
@@ -521,7 +527,7 @@ class HistoryDB:
             values = [point["value"] for point in points]
             latest = points[-1]
             best = min(values) if direction == "lower" else max(values)
-            slack = abs(best) * tolerance if best != 0 else tolerance
+            slack = abs(best) * tolerance if best != 0 else absolute_floor
             if direction == "lower":
                 regressed = latest["value"] > best + slack
             else:

@@ -43,12 +43,14 @@ from repro.scenarios.diff import (
     render_scenario_diff,
 )
 from repro.scenarios.facade import (
+    ENGINE_NAMES,
     TIMELINE_FIELDS,
     ScenarioResult,
     build_machine,
     build_workload,
     resolve_mapping,
     simulate,
+    simulate_grid,
 )
 from repro.scenarios.grid import ScenarioGrid, load_grid, load_scenarios
 from repro.scenarios.registry import (
@@ -77,6 +79,7 @@ del _components
 __all__ = [
     "CATEGORIES",
     "DRIVE",
+    "ENGINE_NAMES",
     "MAPPING",
     "PROGRAM",
     "TIMELINE_FIELDS",
@@ -101,6 +104,7 @@ __all__ = [
     "render_scenario_diff",
     "resolve_mapping",
     "simulate",
+    "simulate_grid",
     "summary",
     "validate_kind",
     "validate_spec_kinds",

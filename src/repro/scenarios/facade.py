@@ -291,6 +291,43 @@ def simulate(spec: ScenarioSpec, tracer=None) -> ScenarioResult:
     )
 
 
+#: Evaluation engines ``simulate_grid`` (and the CLI) accept.
+ENGINE_NAMES = ("kernel", "batch")
+
+
+def simulate_grid(
+    grid, *, engine: str = "kernel", validate: int = 0, tracer=None
+) -> list[ScenarioResult]:
+    """Simulate every design point of a grid (or a list of specs).
+
+    ``engine`` picks the evaluation strategy: ``"kernel"`` runs each
+    point through :func:`simulate` (the per-point cycle-accurate
+    path), ``"batch"`` hands the whole batch to
+    :func:`repro.batch.evaluate_batch` — the analytic ``T + L + 1``
+    fast path for conflict-free planner points plus the
+    struct-of-arrays batched kernel for the rest, with identical
+    results either way.  ``validate`` (batch engine only) re-runs that
+    many sampled points through the per-point kernel and raises on any
+    field mismatch.  ``tracer`` is only meaningful for the kernel
+    engine (the batch engine materialises no per-cycle events).
+    """
+    from repro.scenarios.grid import ScenarioGrid
+
+    specs = grid.expand() if isinstance(grid, ScenarioGrid) else list(grid)
+    if engine == "kernel":
+        return [simulate(spec, tracer) for spec in specs]
+    if engine == "batch":
+        from repro.batch import evaluate_batch
+
+        return list(
+            evaluate_batch(specs, validate=validate).results
+        )
+    raise ConfigurationError(
+        f"unknown evaluation engine {engine!r} "
+        f"(known: {', '.join(ENGINE_NAMES)})"
+    )
+
+
 def _aggregate(
     spec: ScenarioSpec,
     config: MemoryConfig,

@@ -42,6 +42,18 @@ class _Entry:
         self.factory = factory
         self.example = example
         self.summary = summary
+        self._signature: inspect.Signature | None = None
+
+    def signature(self) -> inspect.Signature:
+        """The factory's signature, resolved once.
+
+        ``inspect.signature`` is surprisingly expensive and factories
+        are immutable after registration, so every ``build`` call (the
+        batch engine makes thousands) shares one resolution.
+        """
+        if self._signature is None:
+            self._signature = inspect.signature(self.factory)
+        return self._signature
 
 
 _REGISTRY: dict[str, dict[str, _Entry]] = {
@@ -106,7 +118,7 @@ def build(category: str, spec: ComponentSpec, **context):
             f"{category} kind {spec.kind!r} params shadow reserved context "
             f"names: {', '.join(sorted(overlap))}"
         )
-    accepted = inspect.signature(entry.factory).parameters
+    accepted = entry.signature().parameters
     takes_kwargs = any(
         parameter.kind is inspect.Parameter.VAR_KEYWORD
         for parameter in accepted.values()
@@ -179,7 +191,7 @@ def factory_parameters(category: str, kind: str) -> tuple[frozenset[str], frozen
     them as reserved, since :func:`build` rejects specs that shadow
     context.
     """
-    parameters = inspect.signature(_entry(category, kind).factory).parameters
+    parameters = _entry(category, kind).signature().parameters
     if any(
         parameter.kind is inspect.Parameter.VAR_KEYWORD
         for parameter in parameters.values()

@@ -62,8 +62,11 @@ class Submission:
     ``jobs`` is the deduplicated, job-id-ordered list of
     :class:`~repro.lab.jobs.JobSpec`; ``hashes`` maps job id to config
     hash (computed once, at submit time); ``signature`` is the sorted
-    hash tuple the duplicate collapse keys on.  ``report`` lands when
-    the runner finishes; ``error`` when it raises.
+    hash tuple the duplicate collapse keys on.  ``engine`` and
+    ``validate`` carry the submission's ``?engine=``/``?validate=``
+    choice (engines produce identical artifacts, so the collapse still
+    keys on content alone).  ``report`` lands when the runner
+    finishes; ``error`` when it raises.
     """
 
     run_id: str
@@ -71,6 +74,8 @@ class Submission:
     hashes: dict[str, str]
     signature: tuple[str, ...]
     created_at: str
+    engine: str = "kernel"
+    validate: int = 0
     state: str = QUEUED
     report: object | None = None
     error: str | None = None

@@ -136,7 +136,11 @@ class RequestHandler(BaseHTTPRequestHandler):
                 f"{schemas.MAX_BODY_BYTES}"
             )
         raw = self.rfile.read(length) if length > 0 else b""
-        payload = self.service.submit(raw)
+        payload = self.service.submit(
+            raw,
+            engine=self._query_value("engine"),
+            validate=self._query_value("validate"),
+        )
         self._send_json(
             202,
             payload,

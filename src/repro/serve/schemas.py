@@ -24,6 +24,7 @@ __all__ = [
     "health_payload",
     "history_payload",
     "metrics_payload",
+    "parse_engine_request",
     "parse_run_request",
     "run_payload",
     "utc_now",
@@ -73,6 +74,40 @@ def parse_run_request(raw: bytes) -> list[ScenarioSpec]:
     return specs
 
 
+def parse_engine_request(
+    engine: str | None, validate: str | None
+) -> tuple[str, int]:
+    """The ``?engine=`` / ``?validate=`` query pair of ``POST /v1/runs``.
+
+    Mirrors the CLI's ``--engine {kernel,batch} --validate N`` exactly:
+    the default is the per-point kernel, ``batch`` routes the batch
+    through :class:`repro.batch.BatchBackend`, and ``validate`` re-runs
+    that many sampled points through the kernel (batch engine only —
+    it has no meaning for, and is rejected with, the kernel engine).
+    """
+    name = engine or "kernel"
+    if name not in ("kernel", "batch"):
+        raise BadRequestError(
+            f"unknown engine {name!r}; pick kernel or batch"
+        )
+    count = 0
+    if validate is not None:
+        try:
+            count = int(validate)
+        except ValueError:
+            count = -1
+        if count < 0:
+            raise BadRequestError(
+                f"validate must be a non-negative integer, got {validate!r}"
+            )
+        if name != "batch":
+            raise BadRequestError(
+                "validate only applies to engine=batch (the kernel "
+                "engine is its own reference)"
+            )
+    return name, count
+
+
 def validate_kinds(specs: list[ScenarioSpec]) -> None:
     """Reject unregistered component kinds at the door.
 
@@ -101,6 +136,7 @@ def run_payload(submission) -> dict:
         "state": submission.state,
         "created_at": submission.created_at,
         "job_count": len(submission.jobs),
+        "engine": getattr(submission, "engine", "kernel"),
         "url": f"/v1/runs/{submission.run_id}",
     }
     if submission.follows:

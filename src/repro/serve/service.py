@@ -77,7 +77,13 @@ class LabService:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, raw: bytes) -> dict:
+    def submit(
+        self,
+        raw: bytes,
+        *,
+        engine: str | None = None,
+        validate: str | None = None,
+    ) -> dict:
         """``POST /v1/runs``: parse, enqueue, return the run's first state.
 
         The run id comes from the same generator CLI runs use, but is
@@ -85,8 +91,14 @@ class LabService:
         the run the background batch will record.  Parsing and static
         lint run first: a rejected submission counts in
         ``runs_rejected`` and never allocates (so never leaks) a run id.
+        ``engine``/``validate`` arrive as raw query strings and select
+        the evaluation engine per submission (``?engine=batch`` runs
+        the batch evaluator; artifacts are identical either way).
         """
         try:
+            engine_name, validate_count = schemas.parse_engine_request(
+                engine, validate
+            )
             specs = schemas.parse_run_request(raw)
         except Exception:
             self.counters.bump("runs_rejected")
@@ -105,6 +117,8 @@ class LabService:
             hashes=hashes,
             signature=tuple(sorted(hashes.values())),
             created_at=schemas.utc_now(),
+            engine=engine_name,
+            validate=validate_count,
         )
         with self._runs_lock:
             self._runs[submission.run_id] = submission
@@ -121,9 +135,18 @@ class LabService:
 
     def _execute(self, submission: Submission) -> None:
         """The queue's runner: one batch through the lab, plus bookkeeping."""
-        backend = (
-            self._backend_factory() if self._backend_factory is not None else None
-        )
+        if submission.engine == "batch":
+            from repro.batch import BatchBackend
+
+            backend: object | None = BatchBackend(
+                validate=submission.validate
+            )
+        else:
+            backend = (
+                self._backend_factory()
+                if self._backend_factory is not None
+                else None
+            )
         try:
             report = run_jobs(
                 submission.jobs,

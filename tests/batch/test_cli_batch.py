@@ -1,0 +1,191 @@
+"""CLI wiring of the batch engine and the regression-gate floor flag.
+
+``--engine batch`` must produce byte-identical JSON results, share
+cache artifacts with the kernel engine, refuse the combinations that
+cannot work (``--backend``, ``--trace``), and ``lab history
+--absolute-floor`` must reach :meth:`HistoryDB.flag_regressions`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    ComponentSpec,
+    MemorySpec,
+    ScenarioGrid,
+    ScenarioSpec,
+)
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    base = ScenarioSpec(
+        mapping=ComponentSpec.of("matched-xor", t=3, s=4),
+        memory=MemorySpec(t=3),
+        workload=ComponentSpec.of("strided", stride=1, length=64),
+        name="cli-batch",
+    )
+    grid = ScenarioGrid.of(base, workload__params__stride=(1, 3, 8, 12))
+    path = tmp_path / "grid.json"
+    path.write_text(grid.to_json())
+    return path
+
+
+class TestScenarioRunEngine:
+    def test_batch_engine_matches_kernel_json(self, grid_file, capsys):
+        assert main(["scenario", "run", str(grid_file), "--json"]) == 0
+        kernel = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(grid_file),
+                    "--json",
+                    "--engine",
+                    "batch",
+                    "--validate",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == kernel
+        assert "2 validated" in captured.err
+
+    def test_batch_engine_prints_partition_summary(self, grid_file, capsys):
+        assert (
+            main(["scenario", "run", str(grid_file), "--engine", "batch"])
+            == 0
+        )
+        assert "analytic" in capsys.readouterr().out
+
+    def test_trace_and_batch_engine_are_rejected(self, grid_file, capsys):
+        code = main(
+            [
+                "scenario",
+                "run",
+                str(grid_file),
+                "--engine",
+                "batch",
+                "--trace",
+                "out.json",
+            ]
+        )
+        assert code == 2
+        assert "per-point simulator" in capsys.readouterr().err
+
+
+class TestLabEngine:
+    def test_sweep_batch_then_kernel_hits_the_same_cache(
+        self, grid_file, tmp_path, capsys
+    ):
+        root = str(tmp_path / "lab")
+        assert (
+            main(
+                [
+                    "lab",
+                    "sweep",
+                    str(grid_file),
+                    "--engine",
+                    "batch",
+                    "--root",
+                    root,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["lab", "sweep", str(grid_file), "--root", root]) == 0
+        )
+        assert "4 cache hits" in capsys.readouterr().out
+
+    def test_engine_batch_with_explicit_backend_is_rejected(
+        self, grid_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "lab",
+                "sweep",
+                str(grid_file),
+                "--engine",
+                "batch",
+                "--backend",
+                "spool",
+                "--root",
+                str(tmp_path / "lab"),
+            ]
+        )
+        assert code == 2
+        assert "drop --backend" in capsys.readouterr().err
+
+    def test_negative_validate_is_rejected_by_the_parser(self, grid_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(grid_file),
+                    "--engine",
+                    "batch",
+                    "--validate",
+                    "-1",
+                ]
+            )
+
+
+class TestHistoryFloor:
+    def manifest(self, tmp_path, index, elapsed):
+        path = tmp_path / f"manifest_{index}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "run_id": f"r{index}",
+                    "created_at": f"2026-01-0{index + 1}T00:00:00Z",
+                    "jobs": [
+                        {
+                            "job_id": "demo-job",
+                            "config_hash": "0" * 16,
+                            "elapsed_seconds": elapsed,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def run_history(self, tmp_path, *extra):
+        return main(
+            [
+                "lab",
+                "history",
+                "--root",
+                str(tmp_path / "lab"),
+                "--ingest",
+                str(self.manifest(tmp_path, 0, 0.0)),
+                "--ingest",
+                str(self.manifest(tmp_path, 1, 0.04)),
+                "--metric",
+                "elapsed_seconds",
+                "--flag-regressions",
+                *extra,
+            ]
+        )
+
+    def test_zero_best_slip_fails_the_gate_by_default(
+        self, tmp_path, capsys
+    ):
+        assert self.run_history(tmp_path) == 1
+        assert "regression(s) flagged" in capsys.readouterr().err
+
+    def test_absolute_floor_grants_explicit_slack(self, tmp_path, capsys):
+        assert (
+            self.run_history(tmp_path, "--absolute-floor", "0.1") == 0
+        )
+        assert "no regressions" in capsys.readouterr().out

@@ -171,6 +171,55 @@ class TestStaleRequeue:
         os.utime(spool.claimed_dir / name, (past, past))
         assert spool.requeue_stale(stale_after=1.0) == []
 
+    def test_coordinator_clock_ahead_does_not_requeue_live_claims(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: claim ages were measured against the coordinator's
+        # time.time(), so a coordinator clock running ahead of the spool
+        # filesystem's clock (NFS server, drifted container) requeued
+        # every live claim the moment it was made.
+        import repro.lab.spool as spool_module
+
+        spool = SpoolRun(tmp_path / "run")
+        spool.create()
+        spool.publish(fast_specs()[:1])
+        claim = claim_next(spool.root)
+        real_time = time.time
+        monkeypatch.setattr(
+            spool_module.time, "time", lambda: real_time() + 3600.0
+        )
+        assert spool.requeue_stale(stale_after=60.0) == []
+        assert claim.exists()
+
+    def test_coordinator_clock_behind_still_requeues_dead_claims(
+        self, tmp_path, monkeypatch
+    ):
+        # The mirror failure: a coordinator clock running behind the
+        # spool's clock computed negative ages and stranded dead
+        # workers' claims forever.
+        import repro.lab.spool as spool_module
+
+        spool = SpoolRun(tmp_path / "run")
+        spool.create()
+        spool.publish(fast_specs()[:1])
+        claim = claim_next(spool.root)
+        past = time.time() - 120
+        os.utime(claim, (past, past))
+        real_time = time.time
+        monkeypatch.setattr(
+            spool_module.time, "time", lambda: real_time() - 3600.0
+        )
+        assert spool.requeue_stale(stale_after=60.0) == [claim.name]
+        assert (spool.pending_dir / claim.name).is_file()
+
+    def test_spool_now_falls_back_to_local_clock(self, tmp_path):
+        # An unwritable spool root cannot host the probe; the local
+        # clock is the only clock left.
+        spool = SpoolRun(tmp_path / "gone")
+        before = time.time()
+        now = spool._spool_now()
+        assert abs(now - before) < 60.0
+
 
 class TestCrashInjection:
     def test_dead_worker_claim_is_requeued_and_batch_completes(self, tmp_path):

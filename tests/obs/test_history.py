@@ -292,6 +292,39 @@ class TestFlagRegressions:
         db = self.ingest_pair(tmp_path, 1.5, 1.0)
         assert db.flag_regressions(metric="elapsed_seconds") == []
 
+    def test_zero_best_flags_any_strictly_worse_move(self, tmp_path):
+        # Regression: a zero best has no scale for a relative band, so
+        # earlier versions silently reused `tolerance` as an absolute
+        # band — a value creeping from 0 to 0.04 passed the gate.
+        db = self.ingest_pair(tmp_path, 0.0, 0.04)
+        (flag,) = db.flag_regressions(metric="elapsed_seconds")
+        assert flag["best"] == 0.0
+        assert flag["latest"] == 0.04
+
+    def test_zero_best_absolute_floor_gives_explicit_slack(self, tmp_path):
+        db = self.ingest_pair(tmp_path, 0.0, 0.04)
+        assert (
+            db.flag_regressions(
+                metric="elapsed_seconds", absolute_floor=0.1
+            )
+            == []
+        )
+        flagged = db.flag_regressions(
+            metric="elapsed_seconds", absolute_floor=0.01
+        )
+        assert len(flagged) == 1
+
+    def test_absolute_floor_is_ignored_for_nonzero_best(self, tmp_path):
+        # The floor only substitutes when the relative band collapses;
+        # a nonzero best keeps the relative tolerance untouched.
+        db = self.ingest_pair(tmp_path, 1.0, 1.04)
+        assert (
+            db.flag_regressions(
+                metric="elapsed_seconds", absolute_floor=0.001
+            )
+            == []
+        )
+
     def test_single_point_series_cannot_regress(self, tmp_path):
         db = HistoryDB(tmp_path / HISTORY_FILENAME)
         path = tmp_path / "manifest.json"

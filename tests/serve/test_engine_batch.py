@@ -1,0 +1,66 @@
+"""Per-submission engine selection: ``POST /v1/runs?engine=batch``.
+
+The batch engine must run the submission through
+:class:`repro.batch.BatchBackend` (visible in the run's metrics
+block), produce artifacts the kernel engine then hits as pure cache,
+and the query validation must reject unknown engines and a
+``validate`` count without the batch engine.
+"""
+
+from __future__ import annotations
+
+from tests.serve.conftest import SPEC
+
+GRID = {
+    "base": SPEC,
+    "axes": {"workload.params.stride": [1, 8, 12]},
+}
+
+
+class TestEngineQuery:
+    def test_batch_engine_runs_and_reports(self, client):
+        status, _, body = client.post_json("/v1/runs?engine=batch", GRID)
+        assert status == 202
+        assert body["engine"] == "batch"
+        done = client.wait_done(body["run_id"])
+        assert done["state"] == "done"
+        assert done["all_passed"] is True
+        assert done["metrics"]["backend"] == "batch"
+        assert done["metrics"]["batch_jobs"] == done["job_count"]
+
+    def test_kernel_engine_hits_batch_artifacts(self, client):
+        status, _, first = client.post_json("/v1/runs?engine=batch", GRID)
+        assert status == 202
+        client.wait_done(first["run_id"])
+        status, _, second = client.post_json("/v1/runs", GRID)
+        assert status == 202
+        assert second["engine"] == "kernel"
+        done = client.wait_done(second["run_id"])
+        assert done["cache_hits"] == done["job_count"]
+        assert done["executed"] == 0
+
+    def test_validate_rides_the_batch_engine(self, client):
+        status, _, body = client.post_json(
+            "/v1/runs?engine=batch&validate=2", GRID
+        )
+        assert status == 202
+        done = client.wait_done(body["run_id"])
+        assert done["state"] == "done"
+        assert done["metrics"]["batch_validated"] == 2
+
+    def test_unknown_engine_is_a_400(self, client):
+        status, _, body = client.post_json("/v1/runs?engine=warp", GRID)
+        assert status == 400
+        assert "unknown engine" in body["error"]
+
+    def test_validate_without_batch_engine_is_a_400(self, client):
+        status, _, body = client.post_json("/v1/runs?validate=3", GRID)
+        assert status == 400
+        assert "engine=batch" in body["error"]
+
+    def test_garbage_validate_is_a_400(self, client):
+        status, _, body = client.post_json(
+            "/v1/runs?engine=batch&validate=lots", GRID
+        )
+        assert status == 400
+        assert "non-negative" in body["error"]

@@ -51,7 +51,7 @@ def test_public_items_documented(package_name):
 def test_package_version():
     import repro
 
-    assert repro.__version__ == "1.7.0"
+    assert repro.__version__ == "1.8.0"
 
 
 def test_module_docstrings():
