@@ -267,3 +267,68 @@ def test_batch_grid_mixed_with_indexed(benchmark):
     report = benchmark(evaluate_batch, specs)
     assert len(report.results) == len(specs)
     assert report.soa_count > 0
+
+
+# -- program-grid fallback tier -------------------------------------------
+#
+# Program/decoupled points cannot take the analytic or SoA tiers — the
+# fallback tier is their whole story, and these benches record how fast
+# it runs serially, sharded over 4 workers, and as a bare per-point
+# loop.  The committed 64-point example is the fixture, so the bench
+# measures exactly what `repro scenario run examples/... --engine batch
+# --batch-workers 4` runs.  On multi-core CI the workers=4 series
+# should sit well under the serial one; `lab history
+# --flag-regressions` trends all three (see the history-smoke CI job).
+
+
+def _program_grid_specs():
+    from pathlib import Path
+
+    from repro.scenarios import load_scenarios
+
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "examples"
+        / "scenario_program_grid_64.json"
+    )
+    return load_scenarios(path.read_text())
+
+
+_PROGRAM_SPECS = _program_grid_specs()
+
+
+def test_program_grid_64_serial(benchmark):
+    """The 64-point program grid through the serial fallback tier."""
+    from repro.batch import evaluate_batch
+
+    report = benchmark.pedantic(
+        evaluate_batch, args=(_PROGRAM_SPECS,), rounds=2, iterations=1
+    )
+    assert len(report.results) == 64
+    assert report.fallback_count == 64
+
+
+def test_program_grid_64_workers4(benchmark):
+    """The same grid with the fallback tier sharded over 4 workers."""
+    from functools import partial
+
+    from repro.batch import evaluate_batch
+
+    report = benchmark.pedantic(
+        partial(evaluate_batch, _PROGRAM_SPECS, workers=4),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(report.results) == 64
+    assert report.workers == 4
+
+
+def test_program_grid_64_kernel_baseline(benchmark):
+    """Per-point simulate() over the identical grid — the denominator."""
+    from repro.scenarios import simulate
+
+    def run_all():
+        return [simulate(spec) for spec in _PROGRAM_SPECS]
+
+    results = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    assert len(results) == 64

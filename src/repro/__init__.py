@@ -57,9 +57,13 @@ Module map
 * :mod:`repro.batch` — the batch design-point evaluation engine:
   a closed-form analytic fast path for conflict-free planner points
   plus a struct-of-arrays batched kernel (numpy-accelerated when
-  available, pure-stdlib otherwise), selectable as ``--engine batch``
-  wherever grids run, with sampled re-validation against the
-  per-point kernel;
+  available, pure-stdlib otherwise) and a fallback tier shardable
+  over a process pool (``--batch-workers``), selectable as
+  ``--engine batch`` wherever grids run, with sampled re-validation
+  against the per-point kernel.  The hot path is memoized underneath:
+  the planner's process-wide LRU plan cache and the scenario facade's
+  machine templates (``repro.obs.cache_stats()`` snapshots both;
+  ``REPRO_PLAN_CACHE=0`` / ``REPRO_MACHINE_CACHE=0`` disable);
 * :mod:`repro.check` — static conflict/hazard analysis of specs and
   vector programs (closed-form conflict verdicts, RAW/WAR/WAW and
   batchability reports, spec lint, grid dedupe) behind ``repro check``

@@ -7,7 +7,9 @@ batched kernel that simulates the remaining planner-drive points
 together under a shared event-skip horizon.  Points neither tier can
 claim fall back to :func:`repro.scenarios.simulate`, so every spec the
 per-point engine accepts evaluates identically here — same fields,
-same artifacts, same cache keys.
+same artifacts, same cache keys.  The fallback tier shards over a
+process pool when asked (``workers=`` / ``--batch-workers``); see
+:mod:`repro.batch.fallback`.
 
 Entry points: :func:`repro.scenarios.simulate_grid` (and ``repro
 scenario run --engine batch``) for direct evaluation, and
@@ -23,6 +25,7 @@ from repro.batch.engine import (
     BatchValidationError,
     evaluate_batch,
 )
+from repro.batch.fallback import resolve_fallback_workers, run_fallback_tier
 from repro.batch.prepare import PreparedPoint, prepare_point
 
 __all__ = [
@@ -33,4 +36,6 @@ __all__ = [
     "analytic_result",
     "evaluate_batch",
     "prepare_point",
+    "resolve_fallback_workers",
+    "run_fallback_tier",
 ]

@@ -12,7 +12,9 @@ through a three-way partition:
   horizon;
 * **fallback** — figure6/decoupled/program drives carry engine-specific
   extras and run through the ordinary per-point
-  :func:`repro.scenarios.simulate`.
+  :func:`repro.scenarios.simulate`; ``workers=`` shards them over a
+  process pool (:mod:`repro.batch.fallback`) with results reassembled
+  in input order, byte-identical to the serial tier.
 
 Every path produces the same :class:`~repro.scenarios.ScenarioResult`
 fields the per-point simulator produces, so artifacts, cache keys and
@@ -33,8 +35,10 @@ import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from repro.batch.fallback import resolve_fallback_workers, run_fallback_tier
 from repro.batch.prepare import prepare_point
 from repro.batch.soa import SoaRunSpec, simulate_runs
+from repro.core.planner import plan_cache_stats
 from repro.errors import SimulationError
 from repro.scenarios.facade import ScenarioResult, _aggregate, simulate
 from repro.scenarios.spec import ScenarioSpec
@@ -53,13 +57,23 @@ class BatchValidationError(SimulationError):
 
 @dataclass(frozen=True)
 class BatchReport:
-    """Results in input order, plus how each point was evaluated."""
+    """Results in input order, plus how each point was evaluated.
+
+    ``workers`` is the resolved fallback-tier pool width (1 = serial);
+    ``plan_cache_hits``/``plan_cache_misses`` are the shared plan
+    cache's deltas over this evaluation, counted in this process (a
+    sharded fallback tier plans inside its workers, whose counters are
+    per-process).
+    """
 
     results: tuple[ScenarioResult, ...]
     analytic_count: int
     soa_count: int
     fallback_count: int
     validated_count: int
+    workers: int = 1
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 def _validation_sample(count: int, size: int) -> list[int]:
@@ -93,6 +107,7 @@ def evaluate_batch(
     validate: int = 0,
     use_numpy: bool | None = None,
     on_error: str = "raise",
+    workers: int | None = None,
 ) -> BatchReport:
     """Evaluate every spec; results come back in input order.
 
@@ -101,9 +116,15 @@ def evaluate_batch(
     any field mismatch.  ``on_error="capture"`` records a point's
     exception in place of its result (for callers that isolate
     failures per job, like :class:`BatchBackend`) instead of raising.
+    ``workers`` shards the fallback tier over that many worker
+    processes (``None``/1 = serial, 0 = one per CPU); the analytic and
+    SoA tiers, validation, and result ordering are unaffected, so the
+    report is identical for any worker count.
     """
     if on_error not in ("raise", "capture"):
         raise SimulationError(f"unknown on_error mode {on_error!r}")
+    worker_count = resolve_fallback_workers(workers)
+    cache_before = plan_cache_stats()
     specs = list(specs)
     prepared: list[tuple[str, object]] = []
     soa_runs: list[SoaRunSpec] = []
@@ -127,6 +148,19 @@ def evaluate_batch(
 
     soa_results = simulate_runs(soa_runs, use_numpy=use_numpy)
 
+    fallback_indices = [
+        index
+        for index, (kind, _info) in enumerate(prepared)
+        if kind == "fallback"
+    ]
+    fallback_results = iter(
+        run_fallback_tier(
+            [specs[index] for index in fallback_indices],
+            workers=worker_count,
+            on_error=on_error,
+        )
+    )
+
     results: list[object] = []
     counts = {"analytic": 0, "soa": 0, "fallback": 0}
     for spec, (kind, info) in zip(specs, prepared):
@@ -143,12 +177,7 @@ def evaluate_batch(
             )
             results.append(_aggregate(spec, config, parts))
         else:
-            try:
-                results.append(simulate(spec))
-            except Exception as error:
-                if on_error == "raise":
-                    raise
-                results.append(error)
+            results.append(next(fallback_results))
 
     validated = 0
     for index in _validation_sample(validate, len(specs)):
@@ -164,12 +193,21 @@ def evaluate_batch(
             )
         validated += 1
 
+    cache_after = plan_cache_stats()
     return BatchReport(
         results=tuple(results),  # type: ignore[arg-type]
         analytic_count=counts["analytic"],
         soa_count=counts["soa"],
         fallback_count=counts["fallback"],
         validated_count=validated,
+        workers=worker_count,
+        plan_cache_hits=(
+            cache_after["plan_cache_hits"] - cache_before["plan_cache_hits"]
+        ),
+        plan_cache_misses=(
+            cache_after["plan_cache_misses"]
+            - cache_before["plan_cache_misses"]
+        ),
     )
 
 
@@ -188,10 +226,15 @@ class BatchBackend:
     name = "batch"
 
     def __init__(
-        self, *, validate: int = 0, use_numpy: bool | None = None
+        self,
+        *,
+        validate: int = 0,
+        use_numpy: bool | None = None,
+        workers: int | None = None,
     ):
         self.validate = validate
         self.use_numpy = use_numpy
+        self.workers = workers
         self._metrics: dict[str, int] = {}
 
     def backend_metrics(self) -> dict:
@@ -223,6 +266,7 @@ class BatchBackend:
             validate=self.validate,
             use_numpy=self.use_numpy,
             on_error="capture",
+            workers=self.workers,
         )
         elapsed = time.perf_counter() - started
         share = elapsed / len(batched) if batched else 0.0
@@ -233,6 +277,9 @@ class BatchBackend:
             "batch_fallback": report.fallback_count,
             "batch_validated": report.validated_count,
             "batch_delegated": len(delegated),
+            "batch_workers": report.workers,
+            "plan_cache_hits": report.plan_cache_hits,
+            "plan_cache_misses": report.plan_cache_misses,
         }
 
         for (job, spec), result in zip(batched, report.results):

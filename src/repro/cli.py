@@ -134,10 +134,33 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="batch engine: re-run N evenly-sampled points through the "
         "per-point kernel and fail on any field mismatch (default 0)",
     )
+    parser.add_argument(
+        "--batch-workers",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="batch engine: shard the fallback tier (figure6/decoupled/"
+        "program points) over N worker processes (0 = one per CPU; "
+        "default: serial). Results are identical for any worker count.",
+    )
+
+
+def _batch_workers_of(args: argparse.Namespace):
+    """The ``--batch-workers`` value, rejecting it for the kernel engine."""
+    workers = getattr(args, "batch_workers", None)
+    if workers is not None and getattr(args, "engine", "kernel") != "batch":
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "--batch-workers applies to the batch engine only; add "
+            "--engine batch (the kernel engine is always per-point)"
+        )
+    return workers
 
 
 def _build_backend(args: argparse.Namespace, store):
     """The backend instance (or name) `run_jobs` should execute through."""
+    workers = _batch_workers_of(args)
     if getattr(args, "engine", "kernel") == "batch":
         if getattr(args, "backend", None) is not None:
             from repro.errors import ConfigurationError
@@ -149,7 +172,9 @@ def _build_backend(args: argparse.Namespace, store):
             )
         from repro.batch import BatchBackend
 
-        return BatchBackend(validate=getattr(args, "validate", 0))
+        return BatchBackend(
+            validate=getattr(args, "validate", 0), workers=workers
+        )
     if getattr(args, "backend", None) != "spool":
         return getattr(args, "backend", None)
     from repro.lab import SpoolBackend
@@ -1328,6 +1353,7 @@ def command_scenario(args: argparse.Namespace) -> int:
         return 2
     for spec in specs:
         validate_spec_kinds(spec)
+    _batch_workers_of(args)  # reject --batch-workers without --engine batch
 
     if args.trace and args.lab:
         print(
@@ -1397,13 +1423,19 @@ def command_scenario(args: argparse.Namespace) -> int:
     elif args.engine == "batch":
         from repro.batch import evaluate_batch
 
-        report = evaluate_batch(specs, validate=args.validate)
+        report = evaluate_batch(
+            specs, validate=args.validate, workers=args.batch_workers
+        )
         results = list(zip(specs, report.results))
+        workers_note = (
+            f", {report.workers} workers" if report.workers > 1 else ""
+        )
         print(
             f"batch: {len(specs)} design points "
             f"({report.analytic_count} analytic, {report.soa_count} "
             f"batched, {report.fallback_count} fallback, "
-            f"{report.validated_count} validated)",
+            f"{report.validated_count} validated{workers_note}, "
+            f"{report.plan_cache_hits} plan-cache hits)",
             file=sys.stderr if args.as_json else sys.stdout,
         )
     else:

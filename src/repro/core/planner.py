@@ -23,6 +23,9 @@ Scheme selection (mode ``"auto"``) follows the paper:
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Literal
 
@@ -44,6 +47,102 @@ from repro.mappings.base import AddressMapping
 from repro.mappings.section import SectionXorMapping
 
 PlanMode = Literal["auto", "ordered", "subsequence", "conflict_free"]
+
+#: Set to ``0``/``off``/``false``/``no`` to disable the process-wide
+#: plan cache (every ``plan()`` call then recomputes from scratch).
+PLAN_CACHE_ENV = "REPRO_PLAN_CACHE"
+#: Override the cache capacity (entries); read once at import.
+PLAN_CACHE_SIZE_ENV = "REPRO_PLAN_CACHE_SIZE"
+
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def plan_cache_enabled() -> bool:
+    """Whether :meth:`AccessPlanner.plan` consults the shared cache."""
+    value = os.environ.get(PLAN_CACHE_ENV, "1").strip().lower()
+    return value not in _DISABLED_VALUES
+
+
+class PlanCache:
+    """A thread-safe LRU of finished :class:`AccessPlan` objects.
+
+    Keyed on the exact plan inputs — ``(type(mapping),
+    mapping.cache_token(), t, mode, vector)`` — so a hit is
+    bit-identical to recomputation by construction: plans are frozen,
+    planning is a pure function of the key, and mappings without a
+    declared :meth:`~repro.mappings.base.AddressMapping.cache_token`
+    are never cached.  The win comes from repetition the per-point
+    paths cannot see: a strip that stores the vector it just loaded, a
+    chained program re-run on the non-chaining machine, and grid
+    points that share workload geometry across ``q``/ports/streams
+    axes all re-plan identical vectors.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"plan cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._plans: OrderedDict[tuple, AccessPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> "AccessPlan | None":
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def store(self, key: tuple, plan: "AccessPlan") -> None:
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "plan_cache_hits": self.hits,
+                "plan_cache_misses": self.misses,
+                "plan_cache_entries": len(self._plans),
+                "plan_cache_capacity": self.capacity,
+            }
+
+
+def _default_capacity() -> int:
+    try:
+        value = int(os.environ.get(PLAN_CACHE_SIZE_ENV, "4096"))
+    except ValueError:
+        return 4096
+    return value if value >= 1 else 4096
+
+
+#: The process-wide cache every :class:`AccessPlanner` shares.
+_PLAN_CACHE = PlanCache(_default_capacity())
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss/occupancy counters of the shared plan cache."""
+    return _PLAN_CACHE.stats()
+
+
+def clear_plan_cache() -> None:
+    """Empty the shared plan cache (tests, benchmarks)."""
+    _PLAN_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -135,7 +234,36 @@ class AccessPlanner:
         * ``"subsequence"`` — the Section 3.1 order (raises
           :class:`~repro.errors.OrderingError` outside its window);
         * ``"conflict_free"`` — the Section 3.2/4.2 order (same).
+
+        Successful plans are memoized in the process-wide
+        :class:`PlanCache` (disable with ``REPRO_PLAN_CACHE=0``); the
+        key is exact — mapping identity, ``t``, mode and the full
+        vector — so a cached plan is indistinguishable from a fresh
+        one.  Forced modes that raise are never cached.
         """
+        key = self._plan_cache_key(vector, mode)
+        if key is not None:
+            cached = _PLAN_CACHE.lookup(key)
+            if cached is not None:
+                return cached
+        plan = self._plan_uncached(vector, mode)
+        if key is not None:
+            _PLAN_CACHE.store(key, plan)
+        return plan
+
+    def _plan_cache_key(
+        self, vector: VectorAccess, mode: PlanMode
+    ) -> tuple | None:
+        if not plan_cache_enabled():
+            return None
+        token = self.mapping.cache_token()
+        if token is None:
+            return None
+        return (type(self.mapping), token, self.t, mode, vector)
+
+    def _plan_uncached(
+        self, vector: VectorAccess, mode: PlanMode
+    ) -> AccessPlan:
         if mode == "ordered":
             return self._finish(vector, canonical_order(vector))
         if mode == "subsequence":

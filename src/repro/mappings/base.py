@@ -112,6 +112,19 @@ class AddressMapping(ABC):
             self.module_of(self.reduce(start + i * stride)) for i in range(length)
         ]
 
+    def cache_token(self) -> tuple | None:
+        """Hashable identity of this mapping's address function, or None.
+
+        Two mappings of the same concrete type whose tokens compare
+        equal must map every address identically — that is the contract
+        the :mod:`repro.core.planner` plan cache keys on (it always
+        pairs the token with ``type(self)``, so a subclass that changes
+        ``module_of`` without overriding the token still gets its own
+        cache entries).  The base implementation returns ``None``:
+        mappings without a declared identity are never cached.
+        """
+        return None
+
     def describe(self) -> str:
         """One-line human-readable description of the mapping."""
         return f"{type(self).__name__}(m={self.module_bits})"

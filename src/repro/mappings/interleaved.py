@@ -26,6 +26,9 @@ class LowOrderInterleaved(AddressMapping):
     def __init__(self, module_bits: int, address_bits: int = DEFAULT_ADDRESS_BITS):
         super().__init__(module_bits, address_bits)
 
+    def cache_token(self) -> tuple:
+        return ("low-order", self.module_bits, self.address_bits)
+
     def module_of(self, address: int) -> int:
         return self.reduce(address) & (self.module_count - 1)
 
@@ -61,6 +64,9 @@ class FieldInterleaved(AddressMapping):
                 f"{address_bits}-bit address space"
             )
         self.s = s
+
+    def cache_token(self) -> tuple:
+        return ("field", self.module_bits, self.s, self.address_bits)
 
     def module_of(self, address: int) -> int:
         return bit_field(self.reduce(address), self.s, self.module_bits)

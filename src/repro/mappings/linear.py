@@ -57,6 +57,9 @@ class MatchedXorMapping(AddressMapping):
         """Alias: for a matched memory the module bits equal ``t``."""
         return self.module_bits
 
+    def cache_token(self) -> tuple:
+        return ("matched-xor", self.module_bits, self.s, self.address_bits)
+
     def module_of(self, address: int) -> int:
         address = self.reduce(address)
         low = bit_field(address, 0, self.module_bits)

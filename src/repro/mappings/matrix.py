@@ -72,6 +72,11 @@ class XorMatrixMapping(AddressMapping):
             )
         self.masks = list(masks)
 
+    def cache_token(self) -> tuple:
+        # The mask rows fully determine ``module_of``, so the token is
+        # exact even for the seeded random subclass.
+        return ("xor-matrix", tuple(self.masks), self.address_bits)
+
     @classmethod
     def from_matched(
         cls, t: int, s: int, address_bits: int = DEFAULT_ADDRESS_BITS

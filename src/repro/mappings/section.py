@@ -61,6 +61,9 @@ class SectionXorMapping(AddressMapping):
         self.s = s
         self.y = y
 
+    def cache_token(self) -> tuple:
+        return ("section-xor", self.t, self.s, self.y, self.address_bits)
+
     @property
     def section_count(self) -> int:
         """Number of sections, ``T = 2**t``."""

@@ -56,6 +56,12 @@ class SkewedMapping(AddressMapping):
         self.s = s
         self.distance = distance
 
+    def cache_token(self) -> tuple:
+        return (
+            "skewed", self.module_bits, self.s, self.distance,
+            self.address_bits,
+        )
+
     def module_of(self, address: int) -> int:
         address = self.reduce(address)
         return (address + self.distance * (address >> self.s)) & (

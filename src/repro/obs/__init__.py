@@ -13,6 +13,9 @@ happened during them" and "how does that compare with every run before".
   ``BENCH_*.json`` artifacts (``runs`` / ``metrics`` tables keyed by
   config hash + source fingerprint), powering ``repro lab history``
   trends and regression flagging.
+* :func:`cache_stats` — one snapshot of the process-wide memoization
+  counters (the planner's plan cache and the scenario facade's machine
+  templates), the numbers behind ``plan_cache_hits`` in batch reports.
 """
 
 from repro.obs.tracer import (
@@ -31,9 +34,24 @@ __all__ = [
     "NullTracer",
     "Tracer",
     "HistoryDB",
+    "cache_stats",
     "chrome_trace_events",
     "current_git_commit",
     "resolve_tracer",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for every process-wide memoization cache.
+
+    One flat dict merging the planner's plan cache and the scenario
+    facade's machine-template cache — the same counters batch reports
+    surface as deltas.  Imported lazily: the facade imports this
+    package for tracing, so a module-level import would be circular.
+    """
+    from repro.core.planner import plan_cache_stats
+    from repro.scenarios.facade import machine_cache_stats
+
+    return {**plan_cache_stats(), **machine_cache_stats()}

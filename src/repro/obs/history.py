@@ -7,7 +7,9 @@ A :class:`HistoryDB` ingests
 * **run manifests** (``runs/<run-id>/manifest.json``) — every job's
   elapsed time plus, for scenario jobs, every ``metric_rows()`` scalar
   (``total_cycles``, ``efficiency``, ``overlap_fraction``, ...) decoded
-  from the job's artifact record;
+  from the job's artifact record, and the run-level metrics block
+  (cache-hit rate, batch engine tier counts, plan-cache hits) under
+  the reserved job id ``__run__``;
 * **pytest-benchmark JSON** (``BENCH_simulator_perf.json``) — per-bench
   mean/min wall seconds, ordered by the ``repro_meta`` stamp
   (git commit + package version + timestamp) that
@@ -264,6 +266,30 @@ class HistoryDB:
                         scenario,
                         address,
                         job_fingerprint,
+                        created,
+                    )
+                )
+        # Run-level manifest metrics (cache-hit rate, queue latencies,
+        # batch tier counts like batch_fallback / plan_cache_hits) were
+        # previously written to manifest.json and then dropped at
+        # ingest, so `lab history` could never trend a run's tier mix.
+        # They land under the reserved job id "__run__" — no real job
+        # id collides (job ids come from sanitised scenario names) and
+        # the trend/regression queries need no special casing.
+        if isinstance(run_metrics, dict):
+            for metric, raw in sorted(run_metrics.items()):
+                value = _numeric(raw)
+                if value is None:
+                    continue
+                rows.append(
+                    (
+                        run_id,
+                        "__run__",
+                        metric,
+                        value,
+                        "",
+                        "",
+                        fingerprint,
                         created,
                     )
                 )

@@ -27,6 +27,9 @@ any simulation starts.
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.gather import IndexedAccess, plan_indexed
@@ -180,6 +183,101 @@ class ScenarioResult:
         return rows
 
 
+#: Set to ``0``/``off``/``false``/``no`` to disable machine-template
+#: memoization (every ``build_config`` call then re-derives the mapping
+#: and config from scratch).
+MACHINE_CACHE_ENV = "REPRO_MACHINE_CACHE"
+
+_MACHINE_CACHE_CAPACITY = 512
+_machine_cache: OrderedDict[tuple, MemoryConfig] = OrderedDict()
+_machine_cache_lock = threading.Lock()
+_machine_cache_hits = 0
+_machine_cache_misses = 0
+
+
+def machine_cache_enabled() -> bool:
+    """Whether :func:`build_config` reuses machine templates."""
+    value = os.environ.get(MACHINE_CACHE_ENV, "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def machine_cache_stats() -> dict[str, int]:
+    """Hit/miss/occupancy counters of the machine-template cache."""
+    with _machine_cache_lock:
+        return {
+            "machine_cache_hits": _machine_cache_hits,
+            "machine_cache_misses": _machine_cache_misses,
+            "machine_cache_entries": len(_machine_cache),
+        }
+
+
+def clear_machine_cache() -> None:
+    """Empty the machine-template cache (tests, benchmarks)."""
+    global _machine_cache_hits, _machine_cache_misses
+    with _machine_cache_lock:
+        _machine_cache.clear()
+        _machine_cache_hits = 0
+        _machine_cache_misses = 0
+
+
+def _freeze(value):
+    """A params value as a hashable cache-key component."""
+    if isinstance(value, dict):
+        return tuple(
+            (key, _freeze(value[key])) for key in sorted(value)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _machine_cache_key(spec: ScenarioSpec) -> tuple | None:
+    """Cache key of a spec's machine layer, or None when uncacheable.
+
+    ``dynamic`` mappings resolve against the workload, so their machine
+    depends on more than the mapping/memory sections and is rebuilt
+    every time.  Everything else is a pure function of the two spec
+    sections (the same determinism the content-addressed artifact cache
+    already relies on), so identical sections — the common case across
+    a grid's program/workload axes — share one frozen
+    :class:`MemoryConfig` and mapping object.
+    """
+    if not machine_cache_enabled():
+        return None
+    if spec.mapping.kind == "dynamic":
+        return None
+    memory = spec.memory
+    return (
+        spec.mapping.kind,
+        _freeze(spec.mapping.params),
+        memory.t,
+        memory.q,
+        memory.qp,
+        memory.ports,
+        memory.address_bits,
+    )
+
+
+def _machine_cache_lookup(key: tuple) -> MemoryConfig | None:
+    global _machine_cache_hits, _machine_cache_misses
+    with _machine_cache_lock:
+        config = _machine_cache.get(key)
+        if config is None:
+            _machine_cache_misses += 1
+            return None
+        _machine_cache.move_to_end(key)
+        _machine_cache_hits += 1
+        return config
+
+
+def _machine_cache_store(key: tuple, config: MemoryConfig) -> None:
+    with _machine_cache_lock:
+        _machine_cache[key] = config
+        _machine_cache.move_to_end(key)
+        while len(_machine_cache) > _MACHINE_CACHE_CAPACITY:
+            _machine_cache.popitem(last=False)
+
+
 def build_workload(spec: ScenarioSpec) -> Workload:
     """The live workload of a spec (which must declare one)."""
     if spec.workload is None:
@@ -199,6 +297,14 @@ def resolve_mapping(
     needs a single strided workload to resolve against (exactly the
     restriction the paper's Section 1 draws against dynamic schemes).
     """
+    mapping, _dynamic = _resolve_mapping_info(spec, workload)
+    return mapping
+
+
+def _resolve_mapping_info(
+    spec: ScenarioSpec, workload: Workload | None = None
+) -> tuple[AddressMapping, bool]:
+    """The concrete mapping plus whether it was workload-resolved."""
     mapping = build(
         MAPPING, spec.mapping, address_bits=spec.memory.address_bits
     )
@@ -211,8 +317,8 @@ def resolve_mapping(
                 "per-stride scheme; this spec has no workload"
             )
         vector = workload.single_vector()
-        return mapping.mapping_for_stride(vector.stride)
-    return mapping
+        return mapping.mapping_for_stride(vector.stride), True
+    return mapping, False
 
 
 def build_config(
@@ -224,8 +330,18 @@ def build_config(
     :class:`~repro.processor.engine.ProgramEngine` builds its own
     machine from the config — while :func:`build_machine` layers the
     planner and memory system on top for the access-driven paths.
+
+    Identical mapping/memory sections share one frozen config (and
+    mapping object) through the machine-template cache, so a grid
+    sweeping program or workload axes stops re-deriving its machine
+    per point; disable with ``REPRO_MACHINE_CACHE=0``.
     """
-    mapping = resolve_mapping(spec, workload)
+    key = _machine_cache_key(spec)
+    if key is not None:
+        cached = _machine_cache_lookup(key)
+        if cached is not None:
+            return cached
+    mapping, dynamic = _resolve_mapping_info(spec, workload)
     if spec.memory.ports > mapping.module_count:
         raise ConfigurationError(
             f"scenario field 'memory.ports' ({spec.memory.ports}) exceeds "
@@ -233,13 +349,19 @@ def build_config(
             f"{spec.mapping.kind!r}: each port needs at least one module "
             "to talk to"
         )
-    return MemoryConfig(
+    config = MemoryConfig(
         mapping,
         spec.memory.t,
         input_capacity=spec.memory.q,
         output_capacity=spec.memory.qp,
         ports=spec.memory.ports,
     )
+    # A registered kind may hand back a dynamic selector even when the
+    # spec kind isn't literally "dynamic"; those configs depend on the
+    # workload, so only workload-independent machines are shared.
+    if key is not None and not dynamic:
+        _machine_cache_store(key, config)
+    return config
 
 
 def build_machine(
@@ -296,7 +418,12 @@ ENGINE_NAMES = ("kernel", "batch")
 
 
 def simulate_grid(
-    grid, *, engine: str = "kernel", validate: int = 0, tracer=None
+    grid,
+    *,
+    engine: str = "kernel",
+    validate: int = 0,
+    workers: int | None = None,
+    tracer=None,
 ) -> list[ScenarioResult]:
     """Simulate every design point of a grid (or a list of specs).
 
@@ -308,7 +435,9 @@ def simulate_grid(
     struct-of-arrays batched kernel for the rest, with identical
     results either way.  ``validate`` (batch engine only) re-runs that
     many sampled points through the per-point kernel and raises on any
-    field mismatch.  ``tracer`` is only meaningful for the kernel
+    field mismatch.  ``workers`` (batch engine only) shards the
+    fallback tier — figure6/decoupled/program points — over that many
+    worker processes.  ``tracer`` is only meaningful for the kernel
     engine (the batch engine materialises no per-cycle events).
     """
     from repro.scenarios.grid import ScenarioGrid
@@ -320,7 +449,9 @@ def simulate_grid(
         from repro.batch import evaluate_batch
 
         return list(
-            evaluate_batch(specs, validate=validate).results
+            evaluate_batch(
+                specs, validate=validate, workers=workers
+            ).results
         )
     raise ConfigurationError(
         f"unknown evaluation engine {engine!r} "

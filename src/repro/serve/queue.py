@@ -62,10 +62,11 @@ class Submission:
     ``jobs`` is the deduplicated, job-id-ordered list of
     :class:`~repro.lab.jobs.JobSpec`; ``hashes`` maps job id to config
     hash (computed once, at submit time); ``signature`` is the sorted
-    hash tuple the duplicate collapse keys on.  ``engine`` and
-    ``validate`` carry the submission's ``?engine=``/``?validate=``
-    choice (engines produce identical artifacts, so the collapse still
-    keys on content alone).  ``report`` lands when the runner
+    hash tuple the duplicate collapse keys on.  ``engine``, ``validate`` and
+    ``batch_workers`` carry the submission's
+    ``?engine=``/``?validate=``/``?batch_workers=`` choice (engines
+    and worker counts produce identical artifacts, so the collapse
+    still keys on content alone).  ``report`` lands when the runner
     finishes; ``error`` when it raises.
     """
 
@@ -76,6 +77,7 @@ class Submission:
     created_at: str
     engine: str = "kernel"
     validate: int = 0
+    batch_workers: int | None = None
     state: str = QUEUED
     report: object | None = None
     error: str | None = None

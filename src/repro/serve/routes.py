@@ -140,6 +140,7 @@ class RequestHandler(BaseHTTPRequestHandler):
             raw,
             engine=self._query_value("engine"),
             validate=self._query_value("validate"),
+            batch_workers=self._query_value("batch_workers"),
         )
         self._send_json(
             202,

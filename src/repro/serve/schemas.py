@@ -75,15 +75,20 @@ def parse_run_request(raw: bytes) -> list[ScenarioSpec]:
 
 
 def parse_engine_request(
-    engine: str | None, validate: str | None
-) -> tuple[str, int]:
-    """The ``?engine=`` / ``?validate=`` query pair of ``POST /v1/runs``.
+    engine: str | None,
+    validate: str | None,
+    batch_workers: str | None = None,
+) -> tuple[str, int, int | None]:
+    """The ``?engine=`` / ``?validate=`` / ``?batch_workers=`` queries.
 
-    Mirrors the CLI's ``--engine {kernel,batch} --validate N`` exactly:
-    the default is the per-point kernel, ``batch`` routes the batch
-    through :class:`repro.batch.BatchBackend`, and ``validate`` re-runs
-    that many sampled points through the kernel (batch engine only —
-    it has no meaning for, and is rejected with, the kernel engine).
+    Mirrors the CLI's ``--engine {kernel,batch} --validate N
+    --batch-workers N`` exactly: the default is the per-point kernel,
+    ``batch`` routes the batch through
+    :class:`repro.batch.BatchBackend`, ``validate`` re-runs that many
+    sampled points through the kernel, and ``batch_workers`` shards the
+    batch engine's fallback tier over that many worker processes
+    (``0`` = one per CPU).  Both knobs apply to the batch engine only —
+    they have no meaning for, and are rejected with, the kernel engine.
     """
     name = engine or "kernel"
     if name not in ("kernel", "batch"):
@@ -105,7 +110,23 @@ def parse_engine_request(
                 "validate only applies to engine=batch (the kernel "
                 "engine is its own reference)"
             )
-    return name, count
+    workers: int | None = None
+    if batch_workers is not None:
+        try:
+            workers = int(batch_workers)
+        except ValueError:
+            workers = -1
+        if workers < 0:
+            raise BadRequestError(
+                f"batch_workers must be a non-negative integer "
+                f"(0 = one per CPU), got {batch_workers!r}"
+            )
+        if name != "batch":
+            raise BadRequestError(
+                "batch_workers only applies to engine=batch (the "
+                "kernel engine is always per-point)"
+            )
+    return name, count, workers
 
 
 def validate_kinds(specs: list[ScenarioSpec]) -> None:

@@ -140,6 +140,124 @@ class TestLabEngine:
             )
 
 
+class TestBatchWorkersFlag:
+    @pytest.fixture
+    def program_grid_file(self, tmp_path):
+        path = tmp_path / "programs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "base": {
+                        "name": "cli-workers",
+                        "mapping": {
+                            "kind": "matched-xor",
+                            "params": {"t": 3, "s": 4},
+                        },
+                        "memory": {"t": 3, "q": 2},
+                        "program": {
+                            "kind": "daxpy",
+                            "params": {"n": 32},
+                        },
+                        "drive": {"kind": "decoupled", "params": {}},
+                    },
+                    "axes": {"program.params.alpha": [1.5, 2.0, 3.0]},
+                }
+            )
+        )
+        return path
+
+    def test_workers_match_serial_json(self, program_grid_file, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(program_grid_file),
+                    "--json",
+                    "--engine",
+                    "batch",
+                ]
+            )
+            == 0
+        )
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(program_grid_file),
+                    "--json",
+                    "--engine",
+                    "batch",
+                    "--batch-workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == serial
+        assert "2 workers" in captured.err
+        assert "3 fallback" in captured.err
+
+    def test_workers_without_batch_engine_is_rejected(
+        self, grid_file, capsys
+    ):
+        code = main(
+            [
+                "scenario",
+                "run",
+                str(grid_file),
+                "--batch-workers",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "--engine batch" in capsys.readouterr().err
+
+    def test_lab_sweep_records_the_worker_count(
+        self, program_grid_file, tmp_path, capsys
+    ):
+        root = tmp_path / "lab"
+        assert (
+            main(
+                [
+                    "lab",
+                    "sweep",
+                    str(program_grid_file),
+                    "--engine",
+                    "batch",
+                    "--batch-workers",
+                    "2",
+                    "--root",
+                    str(root),
+                ]
+            )
+            == 0
+        )
+        manifests = list((root / "runs").glob("*/manifest.json"))
+        assert len(manifests) == 1
+        metrics = json.loads(manifests[0].read_text())["metrics"]
+        assert metrics["batch_workers"] == 2
+        assert metrics["batch_fallback"] == 3
+        assert "plan_cache_hits" in metrics
+
+    def test_negative_workers_are_rejected_by_the_parser(self, grid_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(grid_file),
+                    "--engine",
+                    "batch",
+                    "--batch-workers",
+                    "-2",
+                ]
+            )
+
+
 class TestHistoryFloor:
     def manifest(self, tmp_path, index, elapsed):
         path = tmp_path / f"manifest_{index}.json"

@@ -1,0 +1,199 @@
+"""The sharded fallback tier, pinned field-for-field against serial.
+
+``--batch-workers`` must be invisible in every output: for every
+registered program kind, across stream counts, a parallel
+``evaluate_batch`` must return ``to_dict()`` payloads identical to the
+serial tier's, captured errors must render the same canonical
+``TypeName: message`` string, worker counts must normalise predictably,
+and lab artifacts written by a parallel batch must be pure cache hits
+for every other execution path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import (
+    BatchBackend,
+    evaluate_batch,
+    resolve_fallback_workers,
+    run_fallback_tier,
+)
+from repro.errors import SimulationError
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.registry import PROGRAM, kinds
+
+MAPPING = {"kind": "matched-xor", "params": {"t": 3, "s": 4}}
+
+#: Small-n parameters per program kind: every registered kind appears,
+#: sized so the whole suite stays in tier-1 territory.
+PROGRAM_PARAMS = {
+    "instructions": {
+        "lines": [
+            ".init base=0, stride=4, values=1;2;3;4",
+            "vload v1, base=0, stride=4, length=4",
+            "vscale v2, v1, scalar=2.0, length=4",
+            "vstore v2, base=512, stride=1, length=4",
+        ]
+    },
+    "asm": {
+        "text": (
+            ".fill base=0, stride=4, count=32, value=1.5\n"
+            "vload v1, base=0, stride=4, length=32\n"
+            "vadd v2, v1, v1, length=32\n"
+            "vstore v2, base=512, stride=1, length=32"
+        )
+    },
+    "daxpy": {"n": 32},
+    "elementwise-product": {"n": 32},
+    "saxpy-chain": {"n": 32},
+    "load-store-copy": {"n": 32},
+    "fft-butterfly": {"n": 32, "stage": 2},
+    "vsum": {"n": 32},
+    "gather": {"n": 32},
+    "scatter": {"n": 32},
+}
+
+
+def program_spec(kind: str, streams: int) -> ScenarioSpec:
+    return ScenarioSpec.from_dict(
+        {
+            "name": f"parity-{kind}-s{streams}",
+            "mapping": MAPPING,
+            "memory": {"t": 3, "q": 2},
+            "program": {"kind": kind, "params": PROGRAM_PARAMS[kind]},
+            "drive": {
+                "kind": "decoupled",
+                "params": {"chaining": False, "memory_streams": streams},
+            },
+        }
+    )
+
+
+def test_every_registered_program_kind_is_covered():
+    assert set(PROGRAM_PARAMS) == set(kinds(PROGRAM))
+
+
+class TestFieldForFieldParity:
+    @pytest.mark.parametrize("kind", sorted(PROGRAM_PARAMS))
+    def test_program_kinds_across_stream_counts(self, kind):
+        specs = [program_spec(kind, streams) for streams in (1, 2, 4)]
+        serial = evaluate_batch(specs)
+        parallel = evaluate_batch(specs, workers=2)
+        assert serial.fallback_count == parallel.fallback_count == 3
+        assert parallel.workers == 2
+        for left, right in zip(serial.results, parallel.results):
+            assert left.to_dict() == right.to_dict()
+
+    def test_ordering_is_input_order_not_completion_order(self):
+        # More points than chunks, deliberately non-uniform sizes, so a
+        # fast chunk finishing first would scramble naive assembly.
+        specs = [
+            program_spec("daxpy", 1),
+            program_spec("vsum", 2),
+            program_spec("saxpy-chain", 1),
+            program_spec("load-store-copy", 2),
+            program_spec("gather", 1),
+            program_spec("scatter", 2),
+        ]
+        results = run_fallback_tier(specs, workers=3)
+        for spec, result in zip(specs, results):
+            assert result.name == spec.name
+
+
+class TestErrorParity:
+    def failing_spec(self) -> ScenarioSpec:
+        # ports > module count fails inside simulate(), after
+        # prepare_point has already routed the spec to the fallback
+        # tier — the exact failure shape the tier must carry across
+        # the process boundary.
+        return ScenarioSpec.from_dict(
+            {
+                "name": "parity-broken",
+                "mapping": MAPPING,
+                "memory": {"t": 3, "ports": 16},
+                "program": {"kind": "daxpy", "params": {"n": 32}},
+                "drive": {"kind": "decoupled", "params": {}},
+            }
+        )
+
+    def test_captured_error_strings_match_serial(self):
+        from repro.lab.backends import describe_error
+
+        specs = [
+            program_spec("daxpy", 1),
+            self.failing_spec(),
+            program_spec("vsum", 1),
+        ]
+        serial = run_fallback_tier(specs, workers=1, on_error="capture")
+        parallel = run_fallback_tier(specs, workers=2, on_error="capture")
+        assert isinstance(serial[1], BaseException)
+        assert isinstance(parallel[1], BaseException)
+        assert (
+            describe_error(serial[1]).message
+            == describe_error(parallel[1]).message
+        )
+        for index in (0, 2):
+            assert serial[index].to_dict() == parallel[index].to_dict()
+
+    def test_raise_mode_raises_in_parallel_too(self):
+        from repro.errors import ConfigurationError
+
+        specs = [program_spec("daxpy", 1), self.failing_spec()]
+        with pytest.raises(ConfigurationError, match="module count"):
+            run_fallback_tier(specs, workers=2, on_error="raise")
+
+    def test_rebuilt_error_keeps_the_original_type_name(self):
+        from repro.batch.fallback import _rebuild_error
+        from repro.lab.backends import describe_error
+
+        error = _rebuild_error("UnpicklableError", "socket went away")
+        assert (
+            describe_error(error).message
+            == "UnpicklableError: socket went away"
+        )
+
+
+class TestWorkerKnob:
+    def test_none_is_serial_and_zero_is_per_cpu(self):
+        from repro.lab.backends import default_worker_count
+
+        assert resolve_fallback_workers(None) == 1
+        assert resolve_fallback_workers(1) == 1
+        assert resolve_fallback_workers(3) == 3
+        assert resolve_fallback_workers(0) == default_worker_count()
+
+    @pytest.mark.parametrize("bad", [-1, True, 2.5, "four"])
+    def test_invalid_worker_counts_are_rejected(self, bad):
+        with pytest.raises(SimulationError, match="batch workers"):
+            resolve_fallback_workers(bad)
+
+    def test_report_records_the_resolved_width(self):
+        specs = [program_spec("daxpy", 1), program_spec("daxpy", 2)]
+        assert evaluate_batch(specs).workers == 1
+        assert evaluate_batch(specs, workers=2).workers == 2
+
+
+class TestCacheKeyInterchange:
+    def test_parallel_artifacts_are_cache_hits_everywhere(self, tmp_path):
+        from repro.lab import ArtifactStore, run_jobs
+        from repro.lab.jobs import scenario_job
+
+        jobs = [
+            scenario_job(program_spec(kind, streams))
+            for kind in ("daxpy", "vsum", "saxpy-chain")
+            for streams in (1, 2)
+        ]
+        store = ArtifactStore(tmp_path / "lab")
+        first = run_jobs(
+            jobs, store=store, backend=BatchBackend(workers=2)
+        )
+        assert first.executed == len(jobs)
+        assert first.metrics["batch_workers"] == 2
+        serial_batch = run_jobs(
+            jobs, store=store, backend=BatchBackend()
+        )
+        assert serial_batch.cache_hits == len(jobs)
+        kernel = run_jobs(jobs, store=store, backend="serial")
+        assert kernel.cache_hits == len(jobs)
+        assert kernel.executed == 0

@@ -64,3 +64,76 @@ class TestEngineQuery:
         )
         assert status == 400
         assert "non-negative" in body["error"]
+
+
+class TestBatchWorkersQuery:
+    def test_batch_workers_runs_and_reports_the_width(self, client):
+        status, _, body = client.post_json(
+            "/v1/runs?engine=batch&batch_workers=2", GRID
+        )
+        assert status == 202
+        done = client.wait_done(body["run_id"])
+        assert done["state"] == "done"
+        assert done["all_passed"] is True
+        assert done["metrics"]["batch_workers"] == 2
+
+    def test_batch_workers_without_batch_engine_is_a_400(self, client):
+        status, _, body = client.post_json("/v1/runs?batch_workers=2", GRID)
+        assert status == 400
+        assert "engine=batch" in body["error"]
+
+    def test_garbage_batch_workers_is_a_400(self, client):
+        status, _, body = client.post_json(
+            "/v1/runs?engine=batch&batch_workers=many", GRID
+        )
+        assert status == 400
+        assert "non-negative" in body["error"]
+
+    def test_negative_batch_workers_is_a_400(self, client):
+        status, _, body = client.post_json(
+            "/v1/runs?engine=batch&batch_workers=-1", GRID
+        )
+        assert status == 400
+        assert "non-negative" in body["error"]
+
+
+class TestBatchCountersInMetrics:
+    def test_concurrent_batch_runs_aggregate_under_the_lock(self, client):
+        """Two batch submissions executing concurrently (queue_workers=2)
+        must land their tier counters in /v1/metrics without tearing:
+        the totals equal the sum of each run's own metrics block."""
+        import threading
+
+        grids = [
+            {
+                "base": dict(SPEC, name=f"counters-{tag}"),
+                "axes": {"workload.params.stride": strides},
+            }
+            for tag, strides in (("a", [1, 8, 12]), ("b", [2, 3, 5, 7]))
+        ]
+        bodies = [None, None]
+
+        def submit(index):
+            status, _, body = client.post_json(
+                "/v1/runs?engine=batch", grids[index]
+            )
+            assert status == 202
+            bodies[index] = body
+
+        threads = [
+            threading.Thread(target=submit, args=(index,))
+            for index in range(len(grids))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        finished = [client.wait_done(body["run_id"]) for body in bodies]
+        expected_jobs = sum(done["metrics"]["batch_jobs"] for done in finished)
+        status, metrics = client.get_json("/v1/metrics")
+        assert status == 200
+        counters = metrics["counters"]
+        assert counters["batch_jobs"] == expected_jobs == 7
+        assert counters["runs_completed"] == 2
+        for key in ("batch_fallback", "plan_cache_hits", "plan_cache_misses"):
+            assert key in counters
